@@ -1,0 +1,66 @@
+"""Fig. 7 — interpretability of IAAB via attention heat-maps.
+
+Trains SA and IAAB variants of the backbone on Weeplaces, picks a user,
+and measures the attention mass that the *final* prediction step
+assigns to historical POIs within 10 km of the target — including POIs
+early in the sequence.  Paper claim: IAAB concentrates clearly more
+mass on these spatially-relevant check-ins than vanilla SA.
+"""
+
+import numpy as np
+
+from common import banner, dataset, experiment_config, train_config
+
+from repro.analysis import attention_study, near_poi_attention_mass
+from repro.baselines import make_recommender
+from repro.data import partition
+
+SEQ_LEN = 32
+
+
+def run_fig7():
+    ds = dataset("weeplaces")
+    train, evaluation = partition(ds, n=SEQ_LEN)
+    out = {}
+    for tag, overrides in (
+        ("SA", dict(position_mode="sinusoid")),
+        ("IAAB", dict(position_mode="sinusoid", use_interval_bias=True)),
+    ):
+        model = make_recommender("SASRec", ds, max_len=SEQ_LEN, dim=32, seed=0, **overrides)
+        model.fit(ds, train, train_config())
+        masses = []
+        sample_map = None
+        for example in evaluation[:20]:
+            study = attention_study(
+                model, example.src_pois, example.src_times, ds.poi_coords, example.target
+            )
+            real = example.src_pois != 0
+            if real.sum() < 4:
+                continue
+            geo = np.where(real, study.geo_gaps_km, np.inf)
+            masses.append(near_poi_attention_mass(study.attention, geo, radius_km=10.0))
+            if sample_map is None:
+                sample_map = study.attention
+        out[tag] = {
+            "mass": float(np.mean(masses)) if masses else 0.0,
+            "sample_map": sample_map,
+        }
+    return out
+
+
+def test_fig7_iaab_attention_mass(benchmark):
+    from repro.analysis import render_heatmap
+
+    raw = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    out = {tag: payload["mass"] for tag, payload in raw.items()}
+    banner("Fig. 7 — attention mass on POIs within 10 km of the target")
+    for tag, payload in raw.items():
+        print(f"{tag:5s} mean mass at the prediction step: {payload['mass']:.3f}")
+        if payload["sample_map"] is not None:
+            print(render_heatmap(payload["sample_map"], max_size=SEQ_LEN,
+                                 title=f"[{tag}] sample attention heat-map"))
+    delta = out["IAAB"] - out["SA"]
+    print(f"IAAB − SA: {delta:+.3f}  [paper: clearly positive]")
+    # Shape: the relation bias must not reduce attention to the
+    # spatially relevant POIs.
+    assert out["IAAB"] >= out["SA"] - 0.05

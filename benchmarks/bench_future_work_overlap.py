@@ -1,0 +1,68 @@
+"""Future-work bench (paper §VI): overlap between learned attention and
+the spatial-temporal relation matrix.
+
+Quantifies Finding 4 — the dependencies learned by self-attention and
+the ones encoded in the relation matrix "have some similarities and can
+accomplish each other" — by measuring, on trained models:
+
+- how similar vanilla SA's attention rows are to the relation
+  distribution (high overlap = the intervals already contain much of
+  what attention learns);
+- how that overlap changes when the relation bias is injected (IAAB).
+"""
+
+import numpy as np
+
+from common import banner, dataset, train_config
+
+from repro.analysis import attention_relation_overlap, average_attention
+from repro.baselines import make_recommender
+from repro.data import partition
+
+SEQ_LEN = 24
+
+
+def run_overlap():
+    ds = dataset("gowalla")
+    train, evaluation = partition(ds, n=SEQ_LEN)
+    out = {}
+    for tag, overrides in (
+        ("SA", dict(position_mode="sinusoid")),
+        ("IAAB", dict(position_mode="sinusoid", use_interval_bias=True)),
+    ):
+        model = make_recommender("SASRec", ds, max_len=SEQ_LEN, dim=32, seed=0, **overrides)
+        model.fit(ds, train, train_config())
+        reports = []
+        for example in evaluation[:15]:
+            if (example.src_pois != 0).sum() < 6:
+                continue
+            _, weights = model.encode(
+                example.src_pois[None, :], example.src_times[None, :], return_weights=True
+            )
+            attn = average_attention(weights)
+            reports.append(
+                attention_relation_overlap(
+                    attn, example.src_pois, example.src_times, ds.poi_coords
+                )
+            )
+        out[tag] = {
+            "bhattacharyya": float(np.mean([r.mean_bhattacharyya for r in reports])),
+            "jsd": float(np.mean([r.mean_jsd for r in reports])),
+            "relation_mass": float(np.mean([r.mean_relation_mass for r in reports])),
+        }
+    return out
+
+
+def test_future_work_attention_relation_overlap(benchmark):
+    out = benchmark.pedantic(run_overlap, rounds=1, iterations=1)
+    banner("Future work — attention vs relation-matrix dependency overlap")
+    for tag, stats in out.items():
+        print(
+            f"{tag:5s} Bhattacharyya={stats['bhattacharyya']:.3f}  "
+            f"JSD={stats['jsd']:.3f}  relation-explainable mass={stats['relation_mass']:.3f}"
+        )
+    # Finding 4's quantitative form: even vanilla SA's learned attention
+    # overlaps substantially with the interval structure...
+    assert out["SA"]["relation_mass"] > 0.2
+    # ...and injecting the relation bias pulls attention toward it.
+    assert out["IAAB"]["bhattacharyya"] >= out["SA"]["bhattacharyya"] - 0.05

@@ -1,0 +1,47 @@
+"""Operational lightweight check: per-query scoring latency.
+
+Complements Table VI's analytic FLOPs with wall-clock measurements:
+STiSAN (TAPE + IAAB + TAAD) versus its SA-only ablation and the SASRec
+backbone, on an identical candidate-scoring workload.  The reproduction
+target: the interval-aware machinery must cost only a modest constant
+factor (it is O(n^2) relation building on top of O(n^2 d) attention).
+"""
+
+from common import banner, dataset, stisan_config, train_config
+
+import numpy as np
+
+from repro.baselines import make_recommender
+from repro.data import partition
+from repro.eval import compare_latency
+
+MAX_LEN = 32
+
+
+def run_latency():
+    ds = dataset("gowalla")
+    train, evaluation = partition(ds, n=MAX_LEN)
+    quick = train_config(epochs=1)
+    models = {}
+    for name, kwargs in (
+        ("SASRec", dict()),
+        ("GeoSAN", dict(stisan_config=stisan_config(use_tape=False, use_relation=False))),
+        ("STiSAN", dict(stisan_config=stisan_config())),
+    ):
+        model = make_recommender(name, ds, max_len=MAX_LEN, dim=32, seed=0, **kwargs)
+        model.fit(ds, train, quick)
+        models[name] = model
+    return compare_latency(
+        models, evaluation, ds, num_candidates=100, batch_size=16, num_calls=5,
+        rng=np.random.default_rng(0),
+    )
+
+
+def test_scoring_latency(benchmark):
+    reports = benchmark.pedantic(run_latency, rounds=1, iterations=1)
+    banner("Latency — per-query candidate scoring")
+    for name, report in reports.items():
+        print(f"{name:8s} {report}")
+    # STiSAN's overhead over the GeoSAN ablation must be a modest
+    # constant factor (relation building + TAPE are O(n^2) numpy ops).
+    assert reports["STiSAN"].mean_s <= 5.0 * max(reports["GeoSAN"].mean_s, 1e-9)

@@ -1,0 +1,85 @@
+"""Table III — overall recommendation performance.
+
+Trains every registered recommender on each of the four datasets and
+prints the HR@{5,10} / NDCG@{5,10} grid plus the improvement of STiSAN
+over the strongest baseline — the paper's headline result.
+
+The paper's shape expectations (Section IV-E-1):
+- STiSAN at or near the top of every column;
+- attention-based models above the RNN/CNN family;
+- POP/BPR weakest; GeoSAN/STAN among the strongest baselines.
+
+Full grid = 13 models x 4 datasets; set REPRO_BENCH_QUICK=1 for a
+smaller smoke-scale run.
+"""
+
+import time
+
+from common import DATASETS, ROUNDS, banner, dataset, experiment_config, persist
+
+from repro.baselines import TABLE3_MODELS
+from repro.eval import format_table, run_rounds
+
+ATTENTION_MODELS = ["SASRec", "Bert4Rec", "TiSASRec", "GeoSAN", "STAN", "STiSAN"]
+CLASSIC_MODELS = ["POP", "BPR"]
+
+
+def run_table3():
+    results = {}
+    for ds_name in DATASETS:
+        ds = dataset(ds_name)
+        results[ds_name] = {}
+        for model in TABLE3_MODELS:
+            t0 = time.time()
+            report = run_rounds(
+                model, ds, experiment_config(dataset_name=ds_name), rounds=ROUNDS
+            )
+            results[ds_name][model] = report
+            print(f"  [{ds_name}] {model:10s} {report}  ({time.time() - t0:.0f}s)")
+    return results
+
+
+def print_table3(results):
+    banner("Table III — overall recommendation performance")
+    print(format_table(results, TABLE3_MODELS))
+    print()
+    for ds_name, column in results.items():
+        stisan = column["STiSAN"]
+        best_baseline = max(
+            (m for m in TABLE3_MODELS if m != "STiSAN"),
+            key=lambda m: column[m].ndcg10,
+        )
+        base = column[best_baseline]
+        if base.ndcg10 > 0:
+            improv = (stisan.ndcg10 - base.ndcg10) / base.ndcg10 * 100
+            print(
+                f"{ds_name}: STiSAN NDCG@10 {stisan.ndcg10:.4f} vs best baseline "
+                f"{best_baseline} {base.ndcg10:.4f} ({improv:+.1f}%)"
+            )
+
+
+def test_table3_overall_performance(benchmark):
+    results = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print_table3(results)
+    for ds_name, column in results.items():
+        persist(f"table3_{ds_name}", column)
+    competitive = 0
+    for ds_name, column in results.items():
+        best = max(column.values(), key=lambda r: r.ndcg10)
+        # POP must never top the table (paper's weakest row).
+        assert column["POP"].ndcg10 <= best.ndcg10
+        # Attention family must collectively beat the POP/BPR family.
+        attn = max(column[m].ndcg10 for m in ATTENTION_MODELS)
+        classic = max(column[m].ndcg10 for m in CLASSIC_MODELS)
+        assert attn > classic, f"{ds_name}: attention models below POP/BPR"
+        if column["STiSAN"].ndcg10 >= 0.8 * best.ndcg10:
+            competitive += 1
+        else:
+            print(
+                f"NOTE: {ds_name}: STiSAN NDCG@10 {column['STiSAN'].ndcg10:.4f} "
+                f"below 80% of the best cell {best.ndcg10:.4f} — see EXPERIMENTS.md"
+            )
+    # Shape target: STiSAN competitive with the best baseline on most
+    # datasets.  (The tiny-catalogue Changchun profile is a known
+    # divergence of the scale-down — documented in EXPERIMENTS.md.)
+    assert competitive >= 3, f"STiSAN competitive on only {competitive}/4 datasets"

@@ -1,0 +1,37 @@
+"""Table V — Weeplaces statistics under four sparsity levels.
+
+The ladder applies increasingly aggressive cold-user/POI thresholds to
+the same Weeplaces-profile data; each rung must be smaller and *denser*
+than the previous, mirroring the paper's Table V.
+"""
+
+from common import SCALE, banner
+
+from repro.data import PAPER_TABLE5, sparsity_ladder
+
+
+def build_ladder():
+    return sparsity_ladder(seed=3, scale=SCALE)
+
+
+def test_table5_sparsity_ladder(benchmark):
+    ladder = benchmark.pedantic(build_ladder, rounds=1, iterations=1)
+    banner("Table V — Weeplaces under different sparsity levels")
+    print(f"{'rung':40s} {'#users':>7s} {'#POIs':>7s} {'#checkins':>10s} {'sparsity':>9s}")
+    for ds, paper in zip(ladder, PAPER_TABLE5):
+        s = ds.statistics()
+        print(
+            f"{ds.name:40s} {s['users']:7d} {s['pois']:7d} "
+            f"{s['checkins']:10d} {s['sparsity']:9.4f}"
+        )
+        print(
+            f"{'  (paper)':40s} {paper['users']:7d} {paper['pois']:7d} "
+            f"{paper['checkins']:10d} {paper['sparsity']:9.4f}"
+        )
+    sparsities = [ds.sparsity for ds in ladder]
+    users = [ds.num_users for ds in ladder]
+    checkins = [ds.num_checkins for ds in ladder]
+    # Monotone: denser and smaller down the ladder (paper's shape).
+    assert all(a >= b - 1e-9 for a, b in zip(sparsities, sparsities[1:]))
+    assert all(a >= b for a, b in zip(users, users[1:]))
+    assert all(a >= b for a, b in zip(checkins, checkins[1:]))

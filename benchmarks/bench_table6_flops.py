@@ -1,0 +1,69 @@
+"""Table VI — computational complexity (FLOPs) of SA vs IAAB.
+
+The paper's claim: the interval-aware attention block adds a negligible
+number of floating-point operations over vanilla self-attention
+("e.g. only adds 0.01M FLOPs").  We compute the analytic per-sequence
+forward FLOPs of a 4-layer encoder at each dataset's average sequence
+length (paper dims d = 256), plus the parameter-count identity that
+backs the "no extra parameters" claim.
+"""
+
+import numpy as np
+
+from common import DATASETS, banner, dataset, stisan_config
+
+from repro.core import STiSAN
+from repro.eval import compare_sa_iaab
+
+PAPER_TABLE6 = {
+    "gowalla": {"sa": 0.83e6, "iaab": 0.83e6},
+    "brightkite": {"sa": 0.13e6, "iaab": 0.14e6},
+    "weeplaces": {"sa": 0.04e6, "iaab": 0.04e6},
+    "changchun": {"sa": 8.75e6, "iaab": 8.76e6},
+}
+
+
+def run_table6():
+    rows = {}
+    for name in DATASETS:
+        ds = dataset(name)
+        n = max(2, int(round(ds.avg_seq_length)))
+        rows[name] = compare_sa_iaab(n=n, d=256, num_layers=4)
+        rows[name]["n"] = n
+    return rows
+
+
+def test_table6_flops(benchmark):
+    rows = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    banner("Table VI — computational complexity comparison (FLOPs)")
+    print(f"{'dataset':12s} {'n':>5s} {'SA':>14s} {'IAAB':>14s} {'overhead':>10s}")
+    for name, row in rows.items():
+        print(
+            f"{name:12s} {row['n']:5d} {row['sa_flops']:14,d} "
+            f"{row['iaab_flops']:14,d} {row['relative_overhead']:10.5%}"
+        )
+        paper = PAPER_TABLE6[name]
+        paper_overhead = (paper["iaab"] - paper["sa"]) / paper["sa"]
+        print(f"{'  (paper overhead)':34s} {paper_overhead:31.5%}")
+    # The lightweight claim: overhead far under 1% on every dataset.
+    for row in rows.values():
+        assert row["relative_overhead"] < 0.01
+
+
+def test_table6_no_extra_parameters(benchmark):
+    """TAPE + relation matrix add zero parameters over the SA variant."""
+
+    def count():
+        ds = dataset("changchun")
+        full = STiSAN(ds.num_pois, ds.poi_coords, stisan_config(),
+                      rng=np.random.default_rng(0))
+        bare = STiSAN(
+            ds.num_pois, ds.poi_coords,
+            stisan_config(use_tape=False, use_relation=False),
+            rng=np.random.default_rng(0),
+        )
+        return full.num_parameters(), bare.num_parameters()
+
+    full_params, bare_params = benchmark.pedantic(count, rounds=1, iterations=1)
+    print(f"\nparameters with TAPE+IAAB: {full_params:,d}; without: {bare_params:,d}")
+    assert full_params == bare_params

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""City-transport scenario (the paper's Changchun dataset).
+
+A transportation network is the extreme POI regime: a *tiny* catalogue
+of stations shared by *many* riders with short, dense histories.  The
+paper shows STiSAN's spatial-temporal modeling still pays off there.
+
+This example:
+  1. generates the Changchun-profile dataset (tight bounding box,
+     ~hundred "stations", many users),
+  2. trains STiSAN and two contrasting baselines — POP (popularity
+     carries a lot of signal in transit data) and SASRec,
+  3. compares the three on the paper's metrics,
+  4. inspects one rider's recommendation with travel distances.
+"""
+
+import numpy as np
+
+from repro import TrainConfig, evaluate, load_dataset, make_recommender, partition
+from repro.data import EvalCandidateRetriever
+from repro.eval import ExperimentConfig
+from repro.geo import haversine
+
+MAX_LEN = 32
+
+
+def main() -> None:
+    dataset = load_dataset("changchun", seed=11, scale=0.6)
+    print(f"city transport dataset: {dataset.statistics()}")
+
+    train_examples, eval_examples = partition(dataset, n=MAX_LEN)
+    train_cfg = TrainConfig(
+        epochs=10, batch_size=32, learning_rate=3e-3,
+        num_negatives=8, temperature=20.0, seed=0,
+    )
+
+    reports = {}
+    for name in ("POP", "SASRec", "STiSAN"):
+        model = make_recommender(name, dataset, max_len=MAX_LEN, dim=32, seed=0)
+        model.fit(dataset, train_examples, train_cfg)
+        reports[name] = evaluate(model, dataset, eval_examples, num_candidates=100)
+        print(f"{name:8s} {reports[name]}")
+        if name == "STiSAN":
+            stisan = model
+
+    # Inspect one rider: where do we think they go next, and how far is
+    # each suggestion from their current stop?
+    example = eval_examples[0]
+    retriever = EvalCandidateRetriever(dataset, num_candidates=100)
+    candidates = retriever.candidates(example.user, example.target)[None, :]
+    top5 = stisan.recommend(
+        example.src_pois[None, :], example.src_times[None, :], candidates, k=5
+    )[0]
+    current = int(example.src_pois[example.src_pois != 0][-1])
+    cur_lat, cur_lon = dataset.poi_coords[current]
+    print(f"\nrider {example.user}: current stop {current}, true next stop {example.target}")
+    for rank, poi in enumerate(map(int, top5), start=1):
+        lat, lon = dataset.poi_coords[poi]
+        dist = haversine(cur_lat, cur_lon, lat, lon)
+        marker = " <- ground truth" if poi == example.target else ""
+        print(f"  #{rank}: stop {poi:4d} ({dist:5.2f} km away){marker}")
+
+
+if __name__ == "__main__":
+    main()

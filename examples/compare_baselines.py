@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Mini Table III: compare every registered recommender on one dataset.
+
+A scaled-down version of the paper's headline experiment — useful as a
+template for benchmarking your own model: register it with
+``@repro.baselines.register("MyModel")`` and it shows up here and in
+the full benchmark harness automatically.
+"""
+
+import time
+
+from repro import TABLE3_MODELS, TrainConfig, load_dataset
+from repro.eval import ExperimentConfig, format_table, run_experiment
+
+
+def main() -> None:
+    dataset = load_dataset("gowalla", seed=3, scale=0.6)
+    print(f"dataset: {dataset.statistics()}\n")
+
+    # Short demo budget; the calibrated benchmark recipe (30 epochs,
+    # per-dataset temperatures) lives in benchmarks/common.py.
+    config = ExperimentConfig(
+        max_len=32,
+        dim=32,
+        num_candidates=100,
+        train=TrainConfig(epochs=20, batch_size=32, learning_rate=3e-3,
+                          num_negatives=8, temperature=1.0, seed=0),
+    )
+    results = {}
+    for name in TABLE3_MODELS:
+        t0 = time.time()
+        results[name] = run_experiment(name, dataset, config)
+        print(f"{name:10s} {results[name]}  ({time.time() - t0:.0f}s)")
+
+    print()
+    print(format_table({dataset.name: results}, TABLE3_MODELS))
+    best = max(results, key=lambda m: results[m].ndcg10)
+    print(f"\nbest model by NDCG@10: {best} ({results[best].ndcg10:.4f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Online serving scenario: a live recommendation service.
+
+Simulates production use: train STiSAN once, stand up a
+``RecommendationService`` over it, stream new check-ins for a user, and
+watch the Top-K suggestions follow them around the city.
+"""
+
+import numpy as np
+
+from repro import STiSAN, STiSANConfig, TrainConfig, load_dataset, partition, train_stisan
+from repro.core import RecommendationService
+
+MAX_LEN = 24
+
+
+def main() -> None:
+    dataset = load_dataset("brightkite", seed=9, scale=0.5)
+    print(f"dataset: {dataset.statistics()}")
+
+    config = STiSANConfig.small(max_len=MAX_LEN, quadkey_level=17, quadkey_ngram=6)
+    train_examples, _ = partition(dataset, n=MAX_LEN)
+    model = STiSAN(dataset.num_pois, dataset.poi_coords, config,
+                   rng=np.random.default_rng(0))
+    train_stisan(
+        model, dataset, train_examples,
+        TrainConfig(epochs=8, learning_rate=3e-3, num_negatives=8,
+                    temperature=20.0, seed=0),
+    )
+
+    service = RecommendationService(model, dataset, max_len=MAX_LEN, num_candidates=60)
+    user = dataset.users()[0]
+    session = service.session(user)
+    print(f"\nuser {user}: {len(session)} historical check-ins")
+
+    def show(title):
+        print(f"\n{title}")
+        for rank, rec in enumerate(service.recommend(user, k=5), start=1):
+            print(f"  #{rank}: POI {rec.poi:4d}  score={rec.score:7.3f}  "
+                  f"{rec.distance_km:6.2f} km from current position")
+
+    show("Top-5 before any live activity:")
+
+    # The user checks in across town: pick a POI far from their anchor.
+    from repro.geo import haversine
+
+    cur = session.pois[-1]
+    lat0, lon0 = dataset.poi_coords[cur]
+    dists = haversine(dataset.poi_coords[1:, 0], dataset.poi_coords[1:, 1], lat0, lon0)
+    far_poi = int(np.argmax(dists)) + 1
+    service.check_in(user, far_poi, session.times[-1] + 2 * 3600.0)
+    print(f"\n>> live check-in at POI {far_poi} ({dists[far_poi - 1]:.1f} km across town)")
+
+    show("Top-5 after the live check-in (slate follows the user):")
+
+    # A quick follow-up nearby, 20 minutes later.
+    near = service.recommend(user, k=1)[0].poi
+    service.check_in(user, near, session.times[-1] + 20 * 60.0)
+    print(f"\n>> follow-up check-in at suggested POI {near}")
+    show("Top-5 after the follow-up:")
+
+
+if __name__ == "__main__":
+    main()

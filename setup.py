@@ -1,0 +1,7 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel``
+package, so PEP 517 editable installs fail; ``setup.py`` lets pip fall
+back to the classic ``develop`` code path."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — a from-scratch reproduction of
+
+    "Spatial-Temporal Interval Aware Sequential POI Recommendation"
+    (En Wang, Yiheng Jiang, Yuanbo Xu, Liang Wang, Yongjian Yang;
+    ICDE 2022)
+
+built entirely on numpy: the deep-learning substrate (``repro.nn``),
+geography utilities (``repro.geo``), LBSN data pipeline (``repro.data``),
+the STiSAN model with TAPE/IAAB/TAAD (``repro.core``), all twelve
+baselines (``repro.baselines``), the evaluation protocol
+(``repro.eval``) and interpretability studies (``repro.analysis``).
+
+Quickstart
+----------
+>>> from repro import load_dataset, partition, STiSAN, STiSANConfig
+>>> from repro import TrainConfig, train_stisan, evaluate
+>>> ds = load_dataset("weeplaces", seed=7, scale=0.5)
+>>> cfg = STiSANConfig.small(max_len=32)
+>>> train, eval_set = partition(ds, n=cfg.max_len)
+>>> model = STiSAN(ds.num_pois, ds.poi_coords, cfg)
+>>> train_stisan(model, ds, train, TrainConfig(epochs=5))
+>>> print(evaluate(model, ds, eval_set))
+"""
+
+from . import analysis, baselines, core, data, eval, geo, nn
+from .baselines import TABLE3_MODELS, make_recommender
+from .core import (
+    STiSAN,
+    STiSANConfig,
+    TrainConfig,
+    train_stisan,
+)
+from .data import (
+    CheckInDataset,
+    UserSequence,
+    WorldConfig,
+    generate_dataset,
+    load_dataset,
+    partition,
+)
+from .eval import ExperimentConfig, MetricReport, evaluate, run_experiment, run_rounds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "geo",
+    "data",
+    "core",
+    "baselines",
+    "eval",
+    "analysis",
+    "STiSAN",
+    "STiSANConfig",
+    "TrainConfig",
+    "train_stisan",
+    "CheckInDataset",
+    "UserSequence",
+    "WorldConfig",
+    "generate_dataset",
+    "load_dataset",
+    "partition",
+    "MetricReport",
+    "evaluate",
+    "ExperimentConfig",
+    "run_experiment",
+    "run_rounds",
+    "make_recommender",
+    "TABLE3_MODELS",
+    "__version__",
+]

@@ -1,0 +1,136 @@
+"""Future-work study (paper §VI): how much of the dependency structure
+learned by self-attention is already contained in the spatial-temporal
+relation matrix?
+
+The paper closes with: "In future, we will delicately explore the
+connections and differences between the sequential dependencies learned
+by self-attention and contained in spatial-temporal relation matrix."
+This module operationalizes that comparison:
+
+- :func:`attention_relation_overlap` — per-row distributional overlap
+  between a model's (softmax) attention map and the softmax-scaled
+  relation matrix, over the visible (causal, non-padding) entries;
+- :func:`dependency_decomposition` — splits each attention row into the
+  component explainable by the relation distribution and an orthogonal
+  residual, returning how much mass each carries.
+
+The companion benchmark (``bench_future_work_overlap.py``) runs the
+study over trained models, comparing vanilla SA against IAAB — the
+quantitative version of the paper's Finding 4 ("the sequential
+dependencies ... have some similarities and can accomplish each other").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.relation import RelationConfig, build_relation_matrix, scaled_relation_bias
+from ..data.types import PAD_POI
+
+
+@dataclass
+class OverlapReport:
+    """Similarity between attention rows and relation rows."""
+
+    mean_bhattacharyya: float    # in [0, 1]; 1 = identical distributions
+    mean_jsd: float              # Jensen-Shannon divergence in [0, ln 2]
+    mean_relation_mass: float    # attention mass explainable by relation
+    num_rows: int
+
+
+def _row_distributions(matrix: np.ndarray, visible: np.ndarray) -> List[np.ndarray]:
+    """Extract each row's visible entries renormalized to a distribution."""
+    rows = []
+    for i in range(matrix.shape[0]):
+        v = visible[i]
+        if not v.any():
+            continue
+        p = np.clip(matrix[i, v], 0.0, None).astype(np.float64)
+        total = p.sum()
+        if total <= 0:
+            continue
+        rows.append(p / total)
+    return rows
+
+
+def bhattacharyya(p: np.ndarray, q: np.ndarray) -> float:
+    """Bhattacharyya coefficient of two discrete distributions."""
+    return float(np.sqrt(p * q).sum())
+
+
+def jensen_shannon(p: np.ndarray, q: np.ndarray, eps: float = 1e-12) -> float:
+    """Jensen-Shannon divergence (natural log)."""
+    m = (p + q) / 2.0
+    kl_pm = float((p * np.log((p + eps) / (m + eps))).sum())
+    kl_qm = float((q * np.log((q + eps) / (m + eps))).sum())
+    return (kl_pm + kl_qm) / 2.0
+
+
+def attention_relation_overlap(
+    attention: np.ndarray,
+    src: np.ndarray,
+    times: np.ndarray,
+    poi_coords: np.ndarray,
+    relation_config: RelationConfig = RelationConfig(),
+) -> OverlapReport:
+    """Compare one sequence's attention map to its relation distribution.
+
+    Parameters
+    ----------
+    attention : (n, n) post-softmax attention map (averaged over blocks).
+    src, times : (n,) the sequence the map was computed on.
+    poi_coords : catalogue coordinates.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    times = np.asarray(times, dtype=np.float64)
+    n = len(src)
+    if attention.shape != (n, n):
+        raise ValueError(f"attention shape {attention.shape} != ({n}, {n})")
+    pad = src == PAD_POI
+    relation = build_relation_matrix(
+        times, poi_coords[src], config=relation_config, pad_mask=pad
+    )
+    future = np.triu(np.ones((n, n), dtype=bool), k=1)
+    blocked = future | pad[None, :] | pad[:, None]
+    bias = scaled_relation_bias(relation, blocked)
+
+    visible = ~blocked
+    attn_rows = _row_distributions(attention, visible)
+    rel_rows = _row_distributions(bias, visible)
+    if len(attn_rows) != len(rel_rows) or not attn_rows:
+        raise ValueError("no comparable visible rows")
+
+    bcs, jsds, masses = [], [], []
+    for p, q in zip(attn_rows, rel_rows):
+        bcs.append(bhattacharyya(p, q))
+        jsds.append(jensen_shannon(p, q))
+        # Mass of attention explainable by the relation distribution:
+        # the overlap integral min(p, q).
+        masses.append(float(np.minimum(p, q).sum()))
+    return OverlapReport(
+        mean_bhattacharyya=float(np.mean(bcs)),
+        mean_jsd=float(np.mean(jsds)),
+        mean_relation_mass=float(np.mean(masses)),
+        num_rows=len(bcs),
+    )
+
+
+def dependency_decomposition(attention: np.ndarray, relation_dist: np.ndarray) -> dict:
+    """Split attention rows into relation-aligned and residual mass.
+
+    Both inputs are (n, n) row-stochastic over their visible entries;
+    returns the average aligned mass (min-overlap) and residual mass.
+    """
+    attention = np.asarray(attention, dtype=np.float64)
+    relation_dist = np.asarray(relation_dist, dtype=np.float64)
+    if attention.shape != relation_dist.shape:
+        raise ValueError("shape mismatch")
+    aligned = np.minimum(attention, relation_dist).sum(axis=-1)
+    residual = 1.0 - aligned
+    return {
+        "aligned_mass": float(aligned.mean()),
+        "residual_mass": float(residual.mean()),
+    }

@@ -1,0 +1,119 @@
+"""BPR-MF — Bayesian Personalized Ranking over matrix factorization
+(Rendle et al., UAI 2009), applied to user-POI check-in pairs.
+
+Static preference model: score(u, j) = <P_u, Q_j> + b_j, trained with
+the pairwise BPR objective using uniform negatives and plain SGD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import TrainConfig
+from ..data.sequences import SequenceExample
+from ..data.types import PAD_POI, CheckInDataset
+from .base import SequentialRecommender, register
+
+
+def training_pairs(examples: List[SequenceExample]) -> np.ndarray:
+    """Extract (user, poi) interactions from windowed examples."""
+    rows = []
+    for e in examples:
+        real = e.tgt_pois != PAD_POI
+        for poi in e.tgt_pois[real]:
+            rows.append((e.user, int(poi)))
+    return np.asarray(rows, dtype=np.int64)
+
+
+def training_transitions(examples: List[SequenceExample]) -> np.ndarray:
+    """Extract (user, prev_poi, next_poi) transitions from examples."""
+    rows = []
+    for e in examples:
+        for prev, nxt in zip(e.src_pois, e.tgt_pois):
+            if prev != PAD_POI and nxt != PAD_POI:
+                rows.append((e.user, int(prev), int(nxt)))
+    return np.asarray(rows, dtype=np.int64)
+
+
+@register("BPR")
+class BPRMF(SequentialRecommender):
+    """Matrix factorization trained with the BPR criterion."""
+
+    def __init__(
+        self,
+        dim: int = 32,
+        lr: float = 0.05,
+        reg: float = 1e-4,
+        epochs: Optional[int] = None,
+        seed: int = 0,
+        **_,
+    ):
+        self.dim = dim
+        self.lr = lr
+        self.reg = reg
+        self.epochs = epochs
+        self.seed = seed
+        self.user_index: Dict[int, int] = {}
+        self.user_factors: Optional[np.ndarray] = None
+        self.item_factors: Optional[np.ndarray] = None
+        self.item_bias: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        dataset: CheckInDataset,
+        examples: List[SequenceExample],
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        config = config or TrainConfig()
+        rng = np.random.default_rng(self.seed)
+        pairs = training_pairs(examples)
+        if len(pairs) == 0:
+            raise ValueError("no training interactions")
+        users = sorted(set(int(u) for u in pairs[:, 0]))
+        self.user_index = {u: i for i, u in enumerate(users)}
+        num_pois = dataset.num_pois
+
+        scale = 1.0 / np.sqrt(self.dim)
+        self.user_factors = rng.normal(0, scale, (len(users), self.dim))
+        self.item_factors = rng.normal(0, scale, (num_pois + 1, self.dim))
+        self.item_bias = np.zeros(num_pois + 1)
+
+        u_idx = np.array([self.user_index[int(u)] for u in pairs[:, 0]])
+        pos = pairs[:, 1]
+        epochs = self.epochs if self.epochs is not None else config.epochs
+        for _ in range(epochs):
+            order = rng.permutation(len(pairs))
+            negs = rng.integers(1, num_pois + 1, size=len(pairs))
+            for i in order:
+                u, p, n = u_idx[i], pos[i], negs[i]
+                if n == p:
+                    continue
+                pu = self.user_factors[u]
+                qp, qn = self.item_factors[p], self.item_factors[n]
+                x = pu @ (qp - qn) + self.item_bias[p] - self.item_bias[n]
+                g = 1.0 / (1.0 + np.exp(min(x, 60.0)))  # sigmoid(-x)
+                self.user_factors[u] += self.lr * (g * (qp - qn) - self.reg * pu)
+                self.item_factors[p] += self.lr * (g * pu - self.reg * qp)
+                self.item_factors[n] += self.lr * (-g * pu - self.reg * qn)
+                self.item_bias[p] += self.lr * (g - self.reg * self.item_bias[p])
+                self.item_bias[n] += self.lr * (-g - self.reg * self.item_bias[n])
+
+    def _user_vector(self, user: Optional[int]) -> np.ndarray:
+        if user is not None and int(user) in self.user_index:
+            return self.user_factors[self.user_index[int(user)]]
+        return self.user_factors.mean(axis=0)
+
+    def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
+        if self.item_factors is None:
+            raise RuntimeError("fit() must be called before scoring")
+        candidates = np.asarray(candidates, dtype=np.int64)
+        b = candidates.shape[0]
+        scores = np.zeros(candidates.shape, dtype=np.float64)
+        for row in range(b):
+            user = None if users is None else users[row]
+            pu = self._user_vector(user)
+            cand = candidates[row]
+            scores[row] = self.item_factors[cand] @ pu + self.item_bias[cand]
+        return scores

@@ -1,0 +1,77 @@
+"""Factory: build any registered recommender for a given dataset.
+
+Each model family needs different constructor arguments (POI counts,
+coordinates, sequence length); the factory centralizes that so the
+Table III benchmark is a loop over names.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import STiSANConfig
+from ..data.types import CheckInDataset
+from .base import SequentialRecommender, registry
+
+
+def make_recommender(
+    name: str,
+    dataset: CheckInDataset,
+    max_len: int = 32,
+    dim: int = 48,
+    seed: int = 0,
+    stisan_config: Optional[STiSANConfig] = None,
+    **overrides,
+) -> SequentialRecommender:
+    """Instantiate a recommender by registry name.
+
+    ``dim`` controls the latent dimension of the embedding-based models
+    (STiSAN/GeoSAN use ``stisan_config`` instead, defaulting to the
+    CPU-scale config with the requested ``max_len``).
+    """
+    classes = registry()
+    if name not in classes:
+        raise KeyError(f"unknown recommender {name!r}; available: {sorted(classes)}")
+    cls = classes[name]
+    rng = np.random.default_rng(seed)
+
+    if name in ("STiSAN", "GeoSAN"):
+        config = stisan_config or STiSANConfig.small(max_len=max_len)
+        return cls(
+            num_pois=dataset.num_pois,
+            poi_coords=dataset.poi_coords,
+            config=config,
+            rng=rng,
+            **overrides,
+        )
+    common = dict(
+        num_pois=dataset.num_pois,
+        poi_coords=dataset.poi_coords,
+        num_users=dataset.num_users,
+        max_len=max_len,
+        dim=dim,
+        rng=rng,
+        seed=seed,
+    )
+    common.update(overrides)
+    return cls(**common)
+
+
+#: The Table III comparison order.
+TABLE3_MODELS = [
+    "POP",
+    "BPR",
+    "FPMC-LR",
+    "PRME-G",
+    "GRU4Rec",
+    "Caser",
+    "STGN",
+    "SASRec",
+    "Bert4Rec",
+    "TiSASRec",
+    "GeoSAN",
+    "STAN",
+    "STiSAN",
+]

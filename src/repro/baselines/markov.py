@@ -1,0 +1,67 @@
+"""First-order Markov chain baseline (extra, beyond the paper's roster).
+
+A transition-count model with add-k smoothing and a popularity backoff:
+P(next = j | current = i) ∝ count(i → j) + k · popularity(j).  Useful as
+the simplest sequential reference point — anything below this is not
+doing sequence modeling at all — and as a sanity probe on new datasets.
+Registered as "Markov" (not part of TABLE3_MODELS).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..core.config import TrainConfig
+from ..data.sequences import SequenceExample
+from ..data.types import PAD_POI, CheckInDataset
+from .base import SequentialRecommender, last_real_positions, register
+from .bpr import training_transitions
+
+
+@register("Markov")
+class MarkovChain(SequentialRecommender):
+    def __init__(self, smoothing: float = 0.1, **_):
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.smoothing = smoothing
+        self.transitions: Optional[sparse.csr_matrix] = None
+        self.popularity: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        dataset: CheckInDataset,
+        examples: List[SequenceExample],
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        num_pois = dataset.num_pois
+        trans = training_transitions(examples)
+        if len(trans) == 0:
+            raise ValueError("no training transitions")
+        counts = sparse.coo_matrix(
+            (np.ones(len(trans)), (trans[:, 1], trans[:, 2])),
+            shape=(num_pois + 1, num_pois + 1),
+        ).tocsr()
+        self.transitions = counts
+        pop = np.zeros(num_pois + 1)
+        np.add.at(pop, trans[:, 2], 1.0)
+        total = pop.sum()
+        self.popularity = pop / total if total else pop
+
+    def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
+        if self.transitions is None:
+            raise RuntimeError("fit() must be called before scoring")
+        src = np.asarray(src, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        last = last_real_positions(src)
+        prev = src[np.arange(len(src)), last]
+        scores = np.zeros(candidates.shape, dtype=np.float64)
+        for row in range(len(src)):
+            cand = candidates[row]
+            row_counts = np.asarray(
+                self.transitions[prev[row], cand].todense()
+            ).reshape(-1)
+            scores[row] = row_counts + self.smoothing * self.popularity[cand]
+        return scores

@@ -1,0 +1,45 @@
+"""POP — popularity baseline: recommend the most-visited POIs."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.config import TrainConfig
+from ..data.sequences import SequenceExample
+from ..data.types import PAD_POI, CheckInDataset
+from .base import SequentialRecommender, register
+
+
+@register("POP")
+class Popularity(SequentialRecommender):
+    """Scores every candidate by its global training visit frequency."""
+
+    def __init__(self, num_pois: Optional[int] = None, **_):
+        self.num_pois = num_pois
+        self.counts: Optional[np.ndarray] = None
+
+    def fit(
+        self,
+        dataset: CheckInDataset,
+        examples: List[SequenceExample],
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        counts = np.zeros(dataset.num_pois + 1, dtype=np.float64)
+        for example in examples:
+            real = example.tgt_pois != PAD_POI
+            np.add.at(counts, example.tgt_pois[real], 1)
+            # The first source position of the earliest window is never
+            # a target; count it too so every check-in contributes.
+            head = example.src_pois[example.src_pois != PAD_POI]
+            if len(head):
+                counts[head[0]] += 1
+        counts[PAD_POI] = 0
+        self.counts = counts
+        self.num_pois = dataset.num_pois
+
+    def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
+        if self.counts is None:
+            raise RuntimeError("fit() must be called before scoring")
+        return self.counts[np.asarray(candidates, dtype=np.int64)].astype(np.float64)

@@ -1,0 +1,145 @@
+"""PRME-G — Personalized Ranking Metric Embedding with Geography
+(Feng et al., IJCAI 2015).
+
+POIs live in two metric spaces: a *sequential transition* space (S) and
+a *user preference* space (P).  The compatibility of user u moving from
+POI i to POI j is the weighted sum of squared distances
+
+    D(u, i, j) = α · ||P_u − P_j||² + (1 − α) · ||S_i − S_j||²,
+
+and the geography extension multiplies by a travel-distance weight
+w_ij = (1 + d_ij)^τ, penalizing far jumps.  Lower D is better; ranking
+is trained with BPR-style SGD on observed transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.config import TrainConfig
+from ..data.sequences import SequenceExample
+from ..data.types import CheckInDataset
+from ..geo.haversine import haversine
+from .base import SequentialRecommender, last_real_positions, register
+from .bpr import training_transitions
+
+
+@register("PRME-G")
+class PRMEG(SequentialRecommender):
+    def __init__(
+        self,
+        dim: int = 32,
+        lr: float = 0.02,
+        reg: float = 1e-4,
+        alpha: float = 0.5,
+        tau: float = 0.25,
+        epochs: Optional[int] = None,
+        seed: int = 0,
+        **_,
+    ):
+        if not 0 <= alpha <= 1:
+            raise ValueError("alpha must be in [0, 1]")
+        self.dim = dim
+        self.lr = lr
+        self.reg = reg
+        self.alpha = alpha
+        self.tau = tau
+        self.epochs = epochs
+        self.seed = seed
+        self.user_index: Dict[int, int] = {}
+        self.p_user: Optional[np.ndarray] = None
+        self.p_poi: Optional[np.ndarray] = None
+        self.s_poi: Optional[np.ndarray] = None
+        self._coords: Optional[np.ndarray] = None
+
+    def _distance_weight(self, prev: np.ndarray, cand: np.ndarray) -> np.ndarray:
+        a = self._coords[prev]
+        b = self._coords[cand]
+        d = haversine(a[..., 0], a[..., 1], b[..., 0], b[..., 1])
+        return (1.0 + d) ** self.tau
+
+    def fit(
+        self,
+        dataset: CheckInDataset,
+        examples: List[SequenceExample],
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        config = config or TrainConfig()
+        rng = np.random.default_rng(self.seed)
+        transitions = training_transitions(examples)
+        if len(transitions) == 0:
+            raise ValueError("no training transitions")
+        users = sorted(set(int(u) for u in transitions[:, 0]))
+        self.user_index = {u: i for i, u in enumerate(users)}
+        num_pois = dataset.num_pois
+        self._coords = np.asarray(dataset.poi_coords, dtype=np.float64)
+
+        scale = 0.1
+        self.p_user = rng.normal(0, scale, (len(users), self.dim))
+        self.p_poi = rng.normal(0, scale, (num_pois + 1, self.dim))
+        self.s_poi = rng.normal(0, scale, (num_pois + 1, self.dim))
+
+        u_idx = np.array([self.user_index[int(u)] for u in transitions[:, 0]])
+        prev = transitions[:, 1]
+        nxt = transitions[:, 2]
+        epochs = self.epochs if self.epochs is not None else config.epochs
+        for _ in range(epochs):
+            order = rng.permutation(len(transitions))
+            negs = rng.integers(1, num_pois + 1, size=len(transitions))
+            for i in order:
+                u, p, j, n = u_idx[i], prev[i], nxt[i], negs[i]
+                if n == j:
+                    continue
+                d_pos = self._weighted_distance(u, p, j)
+                d_neg = self._weighted_distance(u, p, n)
+                # BPR on -D: maximize sigmoid(D_neg - D_pos).
+                g = 1.0 / (1.0 + np.exp(min(d_neg - d_pos, 60.0)))
+                w_pos = self._distance_weight(np.array(p), np.array(j))
+                w_neg = self._distance_weight(np.array(p), np.array(n))
+                # Gradients of squared distances.
+                du_pos = self.p_user[u] - self.p_poi[j]
+                du_neg = self.p_user[u] - self.p_poi[n]
+                ds_pos = self.s_poi[p] - self.s_poi[j]
+                ds_neg = self.s_poi[p] - self.s_poi[n]
+                lr, a = self.lr, self.alpha
+                self.p_user[u] -= lr * (
+                    g * 2 * a * (w_pos * du_pos - w_neg * du_neg) + self.reg * self.p_user[u]
+                )
+                self.p_poi[j] -= lr * (-g * 2 * a * w_pos * du_pos + self.reg * self.p_poi[j])
+                self.p_poi[n] -= lr * (g * 2 * a * w_neg * du_neg + self.reg * self.p_poi[n])
+                self.s_poi[p] -= lr * (
+                    g * 2 * (1 - a) * (w_pos * ds_pos - w_neg * ds_neg) + self.reg * self.s_poi[p]
+                )
+                self.s_poi[j] -= lr * (-g * 2 * (1 - a) * w_pos * ds_pos + self.reg * self.s_poi[j])
+                self.s_poi[n] -= lr * (g * 2 * (1 - a) * w_neg * ds_neg + self.reg * self.s_poi[n])
+
+    def _weighted_distance(self, u_idx: int, prev: int, cand: int) -> float:
+        w = float(self._distance_weight(np.array(prev), np.array(cand)))
+        d_pref = float(((self.p_user[u_idx] - self.p_poi[cand]) ** 2).sum())
+        d_seq = float(((self.s_poi[prev] - self.s_poi[cand]) ** 2).sum())
+        return w * (self.alpha * d_pref + (1 - self.alpha) * d_seq)
+
+    def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
+        if self.p_user is None:
+            raise RuntimeError("fit() must be called before scoring")
+        src = np.asarray(src, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        last = last_real_positions(src)
+        prev = src[np.arange(len(src)), last]
+        mean_user = self.p_user.mean(axis=0)
+        scores = np.zeros(candidates.shape, dtype=np.float64)
+        for row in range(len(src)):
+            user = None if users is None else int(users[row])
+            pu = (
+                self.p_user[self.user_index[user]]
+                if user is not None and user in self.user_index
+                else mean_user
+            )
+            cand = candidates[row]
+            d_pref = ((pu[None, :] - self.p_poi[cand]) ** 2).sum(axis=1)
+            d_seq = ((self.s_poi[prev[row]][None, :] - self.s_poi[cand]) ** 2).sum(axis=1)
+            w = self._distance_weight(np.full(len(cand), prev[row]), cand)
+            scores[row] = -w * (self.alpha * d_pref + (1 - self.alpha) * d_seq)
+        return scores

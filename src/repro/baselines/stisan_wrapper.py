@@ -1,0 +1,41 @@
+"""Registry wrapper exposing STiSAN through the common recommender
+interface so the overall-performance benchmark treats it like any
+baseline."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.config import STiSANConfig, TrainConfig
+from ..core.stisan import STiSAN
+from ..core.trainer import train_stisan
+from ..data.sequences import SequenceExample
+from ..data.types import CheckInDataset
+from .base import SequentialRecommender, register
+
+
+@register("STiSAN")
+class STiSANRecommender(SequentialRecommender):
+    def __init__(
+        self,
+        num_pois: int,
+        poi_coords: np.ndarray,
+        config: Optional[STiSANConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        **_,
+    ):
+        self.config = config or STiSANConfig.small()
+        self.model = STiSAN(num_pois, poi_coords, self.config, rng=rng)
+
+    def fit(
+        self,
+        dataset: CheckInDataset,
+        examples: List[SequenceExample],
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        train_stisan(self.model, dataset, examples, config)
+
+    def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
+        return self.model.score_candidates(src, times, candidates)

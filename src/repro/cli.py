@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   build a synthetic dataset and write it to CSV/JSONL/NPZ
+stats      print Table II-style statistics (+ mobility summary)
+train      train a model and save a checkpoint
+evaluate   evaluate a checkpoint with the paper's protocol
+compare    mini Table III over several models on one dataset
+
+Examples
+--------
+python -m repro generate --profile weeplaces --scale 0.5 --out data.npz
+python -m repro stats --data data.npz
+python -m repro train --data data.npz --model STiSAN --epochs 10 --out model.npz
+python -m repro evaluate --data data.npz --model STiSAN --checkpoint model.npz
+python -m repro compare --data data.npz --models POP SASRec STiSAN
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .analysis.trajectories import dataset_mobility_summary
+from .baselines import TABLE3_MODELS, make_recommender
+from .core import STiSANConfig, TrainConfig
+from .data import DATASET_NAMES, load_dataset, partition
+from .data.io import (
+    load_dataset_snapshot,
+    read_checkins_csv,
+    read_checkins_jsonl,
+    save_dataset,
+    write_checkins_csv,
+    write_checkins_jsonl,
+)
+from .eval import evaluate
+from .nn import load_checkpoint, save_checkpoint
+
+
+def _load_any(path: str):
+    p = Path(path)
+    if p.suffix in (".npz",):
+        return load_dataset_snapshot(p)
+    if p.suffix in (".csv", ".tsv"):
+        return read_checkins_csv(p, delimiter="\t" if p.suffix == ".tsv" else ",")
+    if p.suffix in (".jsonl", ".json"):
+        return read_checkins_jsonl(p)
+    raise SystemExit(f"unsupported dataset format: {p.suffix}")
+
+
+def cmd_generate(args) -> int:
+    ds = load_dataset(args.profile, seed=args.seed, scale=args.scale)
+    out = Path(args.out)
+    if out.suffix == ".npz":
+        save_dataset(ds, out)
+    elif out.suffix == ".csv":
+        write_checkins_csv(ds, out)
+    elif out.suffix == ".jsonl":
+        write_checkins_jsonl(ds, out)
+    else:
+        raise SystemExit(f"unsupported output format: {out.suffix}")
+    print(f"wrote {ds.num_checkins} check-ins to {out}")
+    print(f"statistics: {ds.statistics()}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    ds = _load_any(args.data)
+    print(f"dataset: {ds.name}")
+    for key, value in ds.statistics().items():
+        print(f"  {key:16s} {value}")
+    print("mobility summary:")
+    for key, value in dataset_mobility_summary(ds).items():
+        print(f"  {key:32s} {value:.3f}" if isinstance(value, float) else f"  {key:32s} {value}")
+    return 0
+
+
+def _train_config(args) -> TrainConfig:
+    return TrainConfig(
+        epochs=args.epochs,
+        batch_size=args.batch_size,
+        learning_rate=args.lr,
+        num_negatives=args.negatives,
+        temperature=args.temperature,
+        seed=args.seed,
+        verbose=not args.quiet,
+    )
+
+
+def cmd_train(args) -> int:
+    ds = _load_any(args.data)
+    train_examples, _ = partition(ds, n=args.max_len)
+    model = make_recommender(
+        args.model, ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
+        stisan_config=STiSANConfig.small(
+            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+        ),
+    )
+    t0 = time.time()
+    model.fit(ds, train_examples, _train_config(args))
+    print(f"trained {args.model} in {time.time() - t0:.0f}s")
+    if args.out:
+        target = getattr(model, "model", model)  # unwrap STiSAN/GeoSAN wrappers
+        if hasattr(target, "state_dict"):
+            save_checkpoint(target, args.out, meta={"model": args.model, "max_len": args.max_len})
+            print(f"checkpoint written to {args.out}")
+        else:
+            print(f"{args.model} has no parameters to checkpoint; skipping --out")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    ds = _load_any(args.data)
+    train_examples, eval_examples = partition(ds, n=args.max_len)
+    model = make_recommender(
+        args.model, ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
+        stisan_config=STiSANConfig.small(
+            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+        ),
+    )
+    if args.checkpoint:
+        target = getattr(model, "model", model)
+        load_checkpoint(target, args.checkpoint)
+        if hasattr(target, "eval"):
+            target.eval()
+        print(f"loaded checkpoint {args.checkpoint}")
+    else:
+        model.fit(ds, train_examples, _train_config(args))
+    report = evaluate(model, ds, eval_examples,
+                      num_candidates=min(args.candidates, ds.num_pois - 1))
+    print(report)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    ds = _load_any(args.data)
+    train_examples, eval_examples = partition(ds, n=args.max_len)
+    cfg = _train_config(args)
+    for name in args.models:
+        t0 = time.time()
+        model = make_recommender(
+            name, ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
+            stisan_config=STiSANConfig.small(
+                max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+            ),
+        )
+        model.fit(ds, train_examples, cfg)
+        report = evaluate(model, ds, eval_examples,
+                          num_candidates=min(args.candidates, ds.num_pois - 1))
+        print(f"{name:10s} {report}  ({time.time() - t0:.0f}s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="STiSAN reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--profile", choices=DATASET_NAMES, default="weeplaces")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="dataset statistics")
+    p.add_argument("--data", required=True)
+    p.set_defaults(func=cmd_stats)
+
+    def add_train_args(p):
+        p.add_argument("--data", required=True)
+        p.add_argument("--model", default="STiSAN", choices=TABLE3_MODELS)
+        p.add_argument("--max-len", type=int, default=32)
+        p.add_argument("--dim", type=int, default=32)
+        p.add_argument("--epochs", type=int, default=10)
+        p.add_argument("--batch-size", type=int, default=32)
+        p.add_argument("--lr", type=float, default=3e-3)
+        p.add_argument("--negatives", type=int, default=8)
+        p.add_argument("--temperature", type=float, default=20.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--quiet", action="store_true")
+
+    p = sub.add_parser("train", help="train a model")
+    add_train_args(p)
+    p.add_argument("--out", help="checkpoint output path (.npz)")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("evaluate", help="evaluate a model")
+    add_train_args(p)
+    p.add_argument("--checkpoint", help="load parameters instead of training")
+    p.add_argument("--candidates", type=int, default=100)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("compare", help="compare several models")
+    add_train_args(p)
+    p.add_argument("--models", nargs="+", default=["POP", "SASRec", "STiSAN"])
+    p.add_argument("--candidates", type=int, default=100)
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

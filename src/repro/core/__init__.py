@@ -1,0 +1,49 @@
+"""``repro.core`` — the paper's contribution: TAPE, the spatial-temporal
+relation matrix, IAAB, TAAD and the assembled STiSAN recommender."""
+
+from .config import PAPER_EPOCHS, PAPER_TEMPERATURES, STiSANConfig, TrainConfig
+from .early_stopping import EarlyStopping, validation_split
+from .service import Recommendation, RecommendationService, UserSession
+from .geo_encoder import GeographyEncoder
+from .iaab import IntervalAwareAttentionBlock, IntervalAwareAttentionLayer
+from .loss import bce_loss_single_negative, weighted_bce_loss
+from .relation import RelationConfig, build_relation_matrix, scaled_relation_bias
+from .stisan import STiSAN
+from .taad import TargetAwareAttentionDecoder, preference_scores, step_causal_mask
+from .tape import (
+    TimeAwarePositionEncoder,
+    VanillaPositionEncoder,
+    sinusoid_table,
+    time_aware_positions,
+)
+from .trainer import TrainResult, train_stisan
+
+__all__ = [
+    "STiSANConfig",
+    "TrainConfig",
+    "PAPER_TEMPERATURES",
+    "PAPER_EPOCHS",
+    "TimeAwarePositionEncoder",
+    "VanillaPositionEncoder",
+    "sinusoid_table",
+    "time_aware_positions",
+    "RelationConfig",
+    "build_relation_matrix",
+    "scaled_relation_bias",
+    "GeographyEncoder",
+    "IntervalAwareAttentionBlock",
+    "IntervalAwareAttentionLayer",
+    "TargetAwareAttentionDecoder",
+    "preference_scores",
+    "step_causal_mask",
+    "weighted_bce_loss",
+    "bce_loss_single_negative",
+    "STiSAN",
+    "train_stisan",
+    "TrainResult",
+    "EarlyStopping",
+    "validation_split",
+    "RecommendationService",
+    "Recommendation",
+    "UserSession",
+]

@@ -1,0 +1,103 @@
+"""GPS coordinate encoder — the GeoSAN-style geography encoder that
+STiSAN concatenates with POI embeddings (Section III-B, footnote 3).
+
+Each POI's GPS coordinate is quantized to a map-tile quadkey (level
+``level``); the quadkey's character n-grams are embedded and pooled
+into a dense geography vector.  Nearby POIs share long quadkey
+prefixes, hence many n-grams, hence similar encodings — exactly the
+inductive bias GeoSAN introduces.
+
+Pooling modes
+-------------
+``mean``  average the n-gram embeddings then project (fast; default).
+``attn``  single self-attention layer over the n-grams then average —
+          closer to GeoSAN's original encoder, ~G× more FLOPs.
+
+The encoder caches the (static) POI → n-gram-id matrix so a forward
+pass is one embedding lookup plus a pooling reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geo.quadkey import QuadkeyVocab, latlon_to_quadkey
+from ..nn.attention import SelfAttention
+from ..nn.layers import Embedding, Linear
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+class GeographyEncoder(Module):
+    """Encodes POI ids into geography vectors via quadkey n-grams.
+
+    Parameters
+    ----------
+    poi_coords : (P + 1, 2) catalogue coordinates (row 0 = padding).
+    dim : output dimension of the geography vector.
+    level : quadkey zoom level (paper/GeoSAN use map level 17).
+    ngram : n-gram width over the quadkey string.
+    pooling : "mean" or "attn".
+    """
+
+    def __init__(
+        self,
+        poi_coords: np.ndarray,
+        dim: int,
+        level: int = 17,
+        ngram: int = 6,
+        pooling: str = "mean",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if pooling not in ("mean", "attn"):
+            raise ValueError(f"unknown pooling {pooling!r}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.pooling = pooling
+
+        poi_coords = np.asarray(poi_coords, dtype=np.float64)
+        vocab = QuadkeyVocab(n=ngram)
+        quadkeys = [
+            latlon_to_quadkey(lat, lon, level=level) for lat, lon in poi_coords[1:]
+        ]
+        grams = vocab.encode_batch(quadkeys) if quadkeys else np.zeros((0, 1), dtype=np.int64)
+        vocab.freeze()
+        self.vocab = vocab
+        # (P + 1, G): row 0 (padding POI) is all PAD n-grams.
+        self.gram_ids = np.zeros((len(poi_coords), grams.shape[1] if len(quadkeys) else 1), dtype=np.int64)
+        if len(quadkeys):
+            self.gram_ids[1:] = grams
+
+        self.gram_embedding = Embedding(
+            len(vocab), dim, padding_idx=QuadkeyVocab.PAD, rng=rng
+        )
+        self.project = Linear(dim, dim, rng=rng)
+        if pooling == "attn":
+            self.attn = SelfAttention(dim, rng=rng)
+
+    def forward(self, poi_ids) -> Tensor:
+        """POI ids (any shape) -> geography vectors (..., dim).
+
+        The padding POI (id 0) maps to the zero vector.
+        """
+        ids = poi_ids.data if isinstance(poi_ids, Tensor) else np.asarray(poi_ids)
+        ids = ids.astype(np.int64)
+        grams = self.gram_ids[ids]                       # (..., G)
+        embedded = self.gram_embedding(grams)            # (..., G, dim)
+        if self.pooling == "attn":
+            flat = embedded.reshape(-1, grams.shape[-1], self.dim)
+            flat = self.attn(flat)
+            embedded = flat.reshape(*grams.shape, self.dim)
+        # Mean over real (non-PAD) n-grams.
+        real = (grams != QuadkeyVocab.PAD).astype(np.float32)
+        counts = np.maximum(real.sum(axis=-1, keepdims=True), 1.0)
+        pooled = (embedded * Tensor(real[..., None])).sum(axis=-2) * Tensor(1.0 / counts)
+        out = self.project(pooled)
+        # Keep padding POIs exactly zero (project bias would leak otherwise).
+        pad = (ids == 0)
+        if pad.any():
+            out = out.masked_fill(pad[..., None], 0.0)
+        return out

@@ -1,0 +1,185 @@
+"""Interval Aware Attention Block (IAAB) — Section III-E, Algorithm 2.
+
+An IAAB alternates an *interval aware attention layer* and a two-layer
+point-wise feed-forward network, each wrapped in a pre-norm residual
+(Eq. 8):   x = x + Layer(LayerNorm(x)).
+
+The attention layer is vanilla single-head self-attention (Eq. 5) whose
+pre-softmax map receives the softmax-scaled spatial-temporal relation
+matrix by point-wise addition (Eq. 6):
+
+    A = Softmax(Q K^T / sqrt(d) + R) V
+
+with the upper triangle of the map set to −inf to prevent information
+leakage.  Setting ``use_relation=False`` recovers vanilla SA (ablation
+*Remove IAAB*, Eq. 15); ``use_attention=False`` keeps only the relation
+matrix (ablation *Remove SA*, Eq. 16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.attention import NEG_INF
+from ..nn.layers import Dropout, LayerNorm, Linear, PositionwiseFeedForward
+from ..nn.module import Module
+from ..nn.tensor import Tensor
+
+
+class IntervalAwareAttentionLayer(Module):
+    """Attention with an additive relation bias.
+
+    The paper's layer is single-head (``num_heads=1``, the default);
+    ``num_heads > 1`` is an extension that splits Q/K/V into heads and
+    injects the same relation bias into every head's attention map.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        dropout: float = 0.0,
+        use_relation: bool = True,
+        use_attention: bool = True,
+        num_heads: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if not use_relation and not use_attention:
+            raise ValueError("at least one of relation / attention must be active")
+        if num_heads < 1 or dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.use_relation = use_relation
+        self.use_attention = use_attention
+        self.w_q = Linear(dim, dim, bias=False, rng=rng)
+        self.w_k = Linear(dim, dim, bias=False, rng=rng)
+        self.w_v = Linear(dim, dim, bias=False, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        relation_bias: Optional[np.ndarray],
+        attend_mask: np.ndarray,
+        return_weights: bool = False,
+    ) -> Tensor | Tuple[Tensor, np.ndarray]:
+        """
+        Parameters
+        ----------
+        x : (..., n, d) sequence representation.
+        relation_bias : (..., n, n) softmax-scaled relation matrix
+            (ignored when ``use_relation`` is False).
+        attend_mask : (..., n, n) bool, True = blocked (future/padding).
+        return_weights : additionally return the attention map for the
+            interpretability figures.
+        """
+        if self.num_heads > 1 and self.use_attention:
+            return self._forward_multihead(x, relation_bias, attend_mask, return_weights)
+        v = self.w_v(x)
+        if self.use_attention:
+            q, k = self.w_q(x), self.w_k(x)
+            scores = (q @ k.transpose()) * (1.0 / np.sqrt(self.dim))
+            if self.use_relation and relation_bias is not None:
+                scores = scores + Tensor(relation_bias)
+        else:
+            # Ablation "Remove SA": A = Softmax(R) V — Eq. (16).
+            if relation_bias is None:
+                raise ValueError("relation_bias required when attention is disabled")
+            scores = Tensor(np.broadcast_to(relation_bias, relation_bias.shape).copy())
+        scores = scores.masked_fill(attend_mask, NEG_INF)
+        weights = F.softmax(scores, axis=-1)
+        out = self.drop(weights @ v)
+        if return_weights:
+            return out, weights.data.copy()
+        return out
+
+    def _forward_multihead(
+        self,
+        x: Tensor,
+        relation_bias: Optional[np.ndarray],
+        attend_mask: np.ndarray,
+        return_weights: bool,
+    ):
+        """Multi-head extension: the relation bias is shared across heads."""
+        single = x.ndim == 2
+        if single:
+            x = x.reshape(1, *x.shape)
+        b, n, _ = x.shape
+        h, hd = self.num_heads, self.head_dim
+
+        def split(t: Tensor) -> Tensor:
+            return t.reshape(b, n, h, hd).transpose(0, 2, 1, 3)  # (b, h, n, hd)
+
+        q, k, v = split(self.w_q(x)), split(self.w_k(x)), split(self.w_v(x))
+        scores = (q @ k.transpose()) * (1.0 / np.sqrt(hd))
+        if self.use_relation and relation_bias is not None:
+            scores = scores + Tensor(
+                np.broadcast_to(relation_bias[..., None, :, :], (b, h, n, n)).copy()
+            )
+        mask = np.broadcast_to(
+            np.asarray(attend_mask)[..., None, :, :], (b, h, n, n)
+        )
+        scores = scores.masked_fill(mask, NEG_INF)
+        weights = F.softmax(scores, axis=-1)
+        out = (weights @ v).transpose(0, 2, 1, 3).reshape(b, n, self.dim)
+        out = self.drop(out)
+        head_mean = weights.data.mean(axis=1)
+        if single:
+            out = out.reshape(n, self.dim)
+            head_mean = head_mean[0]
+        if return_weights:
+            return out, head_mean.copy()
+        return out
+
+
+class IntervalAwareAttentionBlock(Module):
+    """IAAB: pre-norm residual attention + pre-norm residual FFN."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        dropout: float = 0.0,
+        use_relation: bool = True,
+        use_attention: bool = True,
+        num_heads: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attn_norm = LayerNorm(dim)
+        self.attn = IntervalAwareAttentionLayer(
+            dim,
+            dropout=dropout,
+            use_relation=use_relation,
+            use_attention=use_attention,
+            num_heads=num_heads,
+            rng=rng,
+        )
+        self.ffn_norm = LayerNorm(dim)
+        self.ffn = PositionwiseFeedForward(dim, hidden_dim, dropout=dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        relation_bias: Optional[np.ndarray],
+        attend_mask: np.ndarray,
+        return_weights: bool = False,
+    ) -> Tensor | Tuple[Tensor, np.ndarray]:
+        if return_weights:
+            attn_out, weights = self.attn(
+                self.attn_norm(x), relation_bias, attend_mask, return_weights=True
+            )
+        else:
+            attn_out = self.attn(self.attn_norm(x), relation_bias, attend_mask)
+        x = x + attn_out
+        x = x + self.ffn(self.ffn_norm(x))
+        if return_weights:
+            return x, weights
+        return x

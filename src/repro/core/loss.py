@@ -1,0 +1,74 @@
+"""Weighted binary cross-entropy loss — Section III-H, Eq. (12).
+
+For each step with target o_i and L spatial negatives:
+
+    Loss = − Σ [ log σ(y_{i,o_i}) + Σ_l w_l · log(1 − σ(y_{i,l})) ]
+
+with importance weights  w_l = exp(y_{i,l}/T) / Σ_l' exp(y_{i,l'}/T)
+(proposed by GeoSAN).  Higher-scored ("harder") negatives get more
+weight; as T → ∞ the weighting becomes uniform.  The weights are
+treated as constants (no gradient flows through them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+def weighted_bce_loss(
+    pos_scores: Tensor,
+    neg_scores: Tensor,
+    target_mask: np.ndarray,
+    temperature: float = 1.0,
+) -> Tensor:
+    """
+    Parameters
+    ----------
+    pos_scores : (b, n) score of the true next POI at each step.
+    neg_scores : (b, n, L) scores of the sampled negatives.
+    target_mask : (b, n) bool, True where a real target exists
+        (padding steps contribute nothing).
+    temperature : the paper's T controlling the negative distribution.
+
+    Returns
+    -------
+    Scalar Tensor: total loss averaged over real target steps.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    mask = np.asarray(target_mask, dtype=np.float32)
+    count = max(float(mask.sum()), 1.0)
+
+    # log σ(y⁺) — stable form.
+    pos_term = F.log_sigmoid(pos_scores) * Tensor(mask)
+
+    # Importance weights over negatives: softmax of detached scores / T.
+    logits = neg_scores.data.astype(np.float64) / temperature
+    logits = logits - logits.max(axis=-1, keepdims=True)
+    w = np.exp(logits)
+    w = w / np.maximum(w.sum(axis=-1, keepdims=True), 1e-12)
+
+    # log(1 − σ(y⁻)) = −softplus(y⁻).
+    neg_log = F.softplus(neg_scores) * Tensor(w.astype(np.float32))
+    neg_term = neg_log.sum(axis=-1) * Tensor(mask)
+
+    total = -(pos_term.sum() - neg_term.sum())
+    return total * (1.0 / count)
+
+
+def bce_loss_single_negative(
+    pos_scores: Tensor, neg_scores: Tensor, target_mask: np.ndarray
+) -> Tensor:
+    """Classic SASRec objective: one uniform negative per step.
+
+    Used by the SASRec / TiSASRec / Bert4Rec-style baselines.
+    ``neg_scores`` has shape (b, n) (single negative).
+    """
+    mask = np.asarray(target_mask, dtype=np.float32)
+    count = max(float(mask.sum()), 1.0)
+    pos_term = F.log_sigmoid(pos_scores) * Tensor(mask)
+    neg_term = F.softplus(neg_scores) * Tensor(mask)
+    return (-(pos_term.sum() - neg_term.sum())) * (1.0 / count)

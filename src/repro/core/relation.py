@@ -1,0 +1,119 @@
+"""Spatial-temporal relation matrix R — Section III-D.
+
+For each source sequence we build a lower-triangular matrix whose entry
+``r_ij`` (i >= j) encodes how *related* check-ins i and j are:
+
+    Δt_ij = min(k_t, |t_i - t_j|)            (days)
+    Δd_ij = min(k_d, Haversine(g_i, g_j))    (km)          (Eq. 4)
+    r̂_ij  = Δt_ij + Δd_ij
+    r_ij  = r̂_max − r̂_ij
+
+so *small* spatio-temporal intervals yield *large* relation values.
+``r̂_max`` is the maximum over the valid (lower-triangle, non-padding)
+entries of the sequence's own matrix.
+
+The paper clips with thresholds ``k_t`` (days) and ``k_d`` (km);
+Fig. 9 sweeps k_t ∈ {0,5,10,20} days and k_d ∈ {0,5,10,15} km.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..data.types import SECONDS_PER_DAY
+from ..geo.haversine import haversine
+
+
+@dataclass(frozen=True)
+class RelationConfig:
+    """Interval thresholds for the relation matrix."""
+
+    k_t_days: float = 10.0
+    k_d_km: float = 15.0
+
+    def __post_init__(self):
+        if self.k_t_days < 0 or self.k_d_km < 0:
+            raise ValueError("interval thresholds must be non-negative")
+
+
+def build_relation_matrix(
+    times: np.ndarray,
+    coords: np.ndarray,
+    config: RelationConfig = RelationConfig(),
+    pad_mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Build (batched) spatial-temporal relation matrices.
+
+    Parameters
+    ----------
+    times : (..., n) unix seconds.
+    coords : (..., n, 2) degrees (lat, lon) aligned with ``times``.
+    pad_mask : optional (..., n) bool, True at padding positions; rows
+        and columns touching padding are zeroed.
+
+    Returns
+    -------
+    (..., n, n) float32, strictly lower-triangular-plus-diagonal; the
+    upper triangle is zero (it is masked to −inf downstream anyway).
+    """
+    times = np.asarray(times, dtype=np.float64)
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape[:-1] != times.shape or coords.shape[-1] != 2:
+        raise ValueError(
+            f"coords shape {coords.shape} incompatible with times shape {times.shape}"
+        )
+    n = times.shape[-1]
+
+    dt_days = np.abs(times[..., :, None] - times[..., None, :]) / SECONDS_PER_DAY
+    dt_days = np.minimum(dt_days, config.k_t_days)
+
+    dd_km = haversine(
+        coords[..., :, None, 0], coords[..., :, None, 1],
+        coords[..., None, :, 0], coords[..., None, :, 1],
+    )
+    dd_km = np.minimum(dd_km, config.k_d_km)
+
+    r_hat = dt_days + dd_km
+
+    valid = np.tril(np.ones((n, n), dtype=bool))
+    valid = np.broadcast_to(valid, r_hat.shape).copy()
+    if pad_mask is not None:
+        pad_mask = np.asarray(pad_mask, dtype=bool)
+        valid &= ~pad_mask[..., :, None]
+        valid &= ~pad_mask[..., None, :]
+
+    r_hat_masked = np.where(valid, r_hat, -np.inf)
+    r_max = r_hat_masked.max(axis=(-1, -2), keepdims=True)
+    r_max = np.where(np.isfinite(r_max), r_max, 0.0)
+
+    relation = np.where(valid, r_max - r_hat, 0.0)
+    return relation.astype(np.float32)
+
+
+def scaled_relation_bias(
+    relation: np.ndarray, attend_mask: np.ndarray
+) -> np.ndarray:
+    """Softmax-normalize R over each row's *visible* keys.
+
+    The paper: "we scale R with Softmax before the addition" (Fig. 3).
+    ``attend_mask`` is True where attention is blocked (future steps or
+    padding); those entries receive zero bias.
+
+    Note the k_t = k_d = 0 degenerate case of Fig. 9: R is constant
+    zero, the softmax yields a uniform row, and adding a constant to
+    every visible attention logit is a no-op — "actually disabling the
+    IAAB", exactly as the paper observes.
+    """
+    relation = np.asarray(relation, dtype=np.float64)
+    blocked = np.asarray(attend_mask, dtype=bool)
+    scores = np.where(blocked, -np.inf, relation)
+    row_max = scores.max(axis=-1, keepdims=True)
+    row_max = np.where(np.isfinite(row_max), row_max, 0.0)  # fully-blocked rows
+    ex = np.exp(scores - row_max)
+    ex = np.where(blocked, 0.0, ex)
+    denom = ex.sum(axis=-1, keepdims=True)
+    bias = np.where(denom > 0, ex / np.maximum(denom, 1e-12), 0.0)
+    return bias.astype(np.float32)

@@ -1,0 +1,163 @@
+"""Online recommendation service — the deployment-facing API.
+
+Wraps a trained recommender, the POI catalogue and the candidate
+retriever behind a per-user session interface: append live check-ins,
+ask for Top-K next-POI suggestions, and persist/restore the whole
+service.  This is the "end-to-end deployment" the paper positions
+STiSAN as (Section I), packaged the way a downstream service would
+consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.negatives import EvalCandidateRetriever
+from ..data.sequences import pad_head
+from ..data.types import PAD_POI, CheckInDataset
+from ..geo.neighbors import PoiIndex
+
+
+@dataclass
+class UserSession:
+    """Mutable live history for one user."""
+
+    user: int
+    pois: List[int] = field(default_factory=list)
+    times: List[float] = field(default_factory=list)
+
+    def append(self, poi: int, timestamp: float) -> None:
+        if self.times and timestamp < self.times[-1]:
+            raise ValueError(
+                f"out-of-order check-in for user {self.user}: "
+                f"{timestamp} < {self.times[-1]}"
+            )
+        if poi == PAD_POI:
+            raise ValueError("POI id 0 is reserved for padding")
+        self.pois.append(int(poi))
+        self.times.append(float(timestamp))
+
+    def __len__(self) -> int:
+        return len(self.pois)
+
+
+@dataclass
+class Recommendation:
+    """One scored suggestion."""
+
+    poi: int
+    score: float
+    distance_km: float      # from the user's current POI
+
+
+class RecommendationService:
+    """Top-K next-POI service over a trained model.
+
+    Parameters
+    ----------
+    model : anything implementing ``score_candidates(src, times, cands)``
+        (STiSAN or any registered baseline).
+    dataset : the catalogue the model was trained on.  Seeds sessions
+        with each user's training history.
+    max_len : model window length n; histories are trimmed/padded to it.
+    num_candidates : slate size retrieved around the anchor POI.
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset: CheckInDataset,
+        max_len: int = 100,
+        num_candidates: int = 100,
+    ):
+        if max_len < 2:
+            raise ValueError("max_len must be >= 2")
+        self.model = model
+        self.dataset = dataset
+        self.max_len = max_len
+        self.num_candidates = min(num_candidates, dataset.num_pois - 1)
+        self._index = PoiIndex(dataset.poi_coords[1:], offset=1)
+        self._sessions: Dict[int, UserSession] = {}
+        for user in dataset.users():
+            seq = dataset.sequences[user]
+            self._sessions[user] = UserSession(
+                user=user, pois=list(map(int, seq.pois)), times=list(map(float, seq.times))
+            )
+
+    # ------------------------------------------------------------------
+    def session(self, user: int) -> UserSession:
+        """The user's live session (created empty for unknown users)."""
+        if user not in self._sessions:
+            self._sessions[user] = UserSession(user=user)
+        return self._sessions[user]
+
+    def check_in(self, user: int, poi: int, timestamp: float) -> None:
+        """Record a live check-in for ``user``."""
+        if not 1 <= poi <= self.dataset.num_pois:
+            raise ValueError(f"unknown POI id {poi}")
+        self.session(user).append(poi, timestamp)
+
+    # ------------------------------------------------------------------
+    def _candidate_slate(self, session: UserSession, exclude_visited: bool) -> np.ndarray:
+        anchor = session.pois[-1]
+        exclude = set(session.pois) if exclude_visited else {anchor}
+        slate = self._index.nearest_excluding(anchor, self.num_candidates, exclude=exclude)
+        if len(slate) == 0:
+            # Degenerate catalogue: fall back to everything but the anchor.
+            slate = np.array(
+                [p for p in range(1, self.dataset.num_pois + 1) if p != anchor],
+                dtype=np.int64,
+            )
+        return slate
+
+    def recommend(
+        self,
+        user: int,
+        k: int = 10,
+        exclude_visited: bool = True,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[Recommendation]:
+        """Top-K suggestions for the user's next check-in.
+
+        Candidates default to the nearest POIs around the user's
+        current location (mirroring the evaluation protocol); pass an
+        explicit list to re-rank an external slate instead.
+        """
+        session = self._sessions.get(user)
+        if session is None or len(session) == 0:
+            raise ValueError(f"user {user} has no history; record a check-in first")
+        slate = (
+            np.asarray(list(candidates), dtype=np.int64)
+            if candidates is not None
+            else self._candidate_slate(session, exclude_visited)
+        )
+        if slate.size == 0:
+            return []
+
+        src = pad_head(np.asarray(session.pois[-self.max_len:], dtype=np.int64),
+                       self.max_len, PAD_POI)
+        first_time = session.times[max(0, len(session) - self.max_len)]
+        times = pad_head(np.asarray(session.times[-self.max_len:], dtype=np.float64),
+                         self.max_len, first_time)
+        scores = self.model.score_candidates(
+            src[None, :], times[None, :], slate[None, :]
+        )[0]
+        order = np.argsort(-scores)[:k]
+        cur_lat, cur_lon = self.dataset.poi_coords[session.pois[-1]]
+        out = []
+        for idx in order:
+            poi = int(slate[idx])
+            lat, lon = self.dataset.poi_coords[poi]
+            from ..geo.haversine import haversine
+
+            out.append(
+                Recommendation(
+                    poi=poi,
+                    score=float(scores[idx]),
+                    distance_km=float(haversine(cur_lat, cur_lon, lat, lon)),
+                )
+            )
+        return out

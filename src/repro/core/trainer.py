@@ -1,0 +1,108 @@
+"""Training loop for STiSAN (and API-compatible neural baselines)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..data.batching import BatchIterator
+from ..data.negatives import NearestNegativeSampler
+from ..data.sequences import EvalExample, SequenceExample
+from ..data.types import CheckInDataset
+from ..nn.optim import Adam
+from .config import TrainConfig
+from .early_stopping import EarlyStopping
+from .loss import weighted_bce_loss
+from .stisan import STiSAN
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch training diagnostics."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    validation_metrics: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+    best_epoch: int = -1
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def train_stisan(
+    model: STiSAN,
+    dataset: CheckInDataset,
+    examples: List[SequenceExample],
+    config: Optional[TrainConfig] = None,
+    on_epoch_end: Optional[Callable[[int, float], None]] = None,
+    validation: Optional[List[EvalExample]] = None,
+    patience: int = 3,
+    num_candidates: int = 100,
+) -> TrainResult:
+    """Optimize ``model`` on the given training windows.
+
+    Follows Section III-H / IV-D: weighted BCE over L nearest-neighbour
+    negatives, Adam at the configured learning rate.
+
+    If ``validation`` instances are supplied (e.g. from
+    :func:`repro.core.early_stopping.validation_split`), NDCG@10 is
+    evaluated each epoch, training stops after ``patience`` epochs
+    without improvement, and the best snapshot is restored.
+    """
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    sampler = NearestNegativeSampler(
+        dataset,
+        num_negatives=config.num_negatives,
+        pool_size=config.negative_pool,
+        rng=rng,
+    )
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    result = TrainResult()
+    stopper = EarlyStopping(patience=patience) if validation else None
+
+    model.train()
+    for epoch in range(config.epochs):
+        iterator = BatchIterator(
+            examples, batch_size=config.batch_size, sampler=sampler, rng=rng
+        )
+        epoch_loss = 0.0
+        num_batches = 0
+        for batch in iterator:
+            pos, neg = model.forward_train(batch.src, batch.times, batch.tgt, batch.negatives)
+            loss = weighted_bce_loss(
+                pos, neg, batch.target_mask, temperature=config.temperature
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip:
+                optimizer.clip_grad_norm(config.grad_clip)
+            optimizer.step()
+            epoch_loss += float(loss.data)
+            num_batches += 1
+        mean_loss = epoch_loss / max(num_batches, 1)
+        result.epoch_losses.append(mean_loss)
+        if config.verbose:
+            print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
+        if on_epoch_end is not None:
+            on_epoch_end(epoch, mean_loss)
+        if stopper is not None:
+            from ..eval.protocol import evaluate  # local import: avoids a cycle
+
+            model.eval()
+            report = evaluate(model, dataset, validation, num_candidates=num_candidates)
+            model.train()
+            result.validation_metrics.append(report.ndcg10)
+            if config.verbose:
+                print(f"  validation NDCG@10={report.ndcg10:.4f}")
+            if stopper.update(epoch, report.ndcg10, model=model):
+                result.stopped_early = True
+                break
+    if stopper is not None:
+        stopper.restore_best(model)
+        result.best_epoch = stopper.best_epoch
+    model.eval()
+    return result

@@ -1,0 +1,147 @@
+"""Dataset serialization: CSV/JSONL check-in logs and binary snapshots.
+
+Real LBSN dumps (the SNAP Gowalla/Brightkite files) are tab-separated
+``user, check-in time, latitude, longitude, location id`` logs; the CSV
+reader accepts that layout.  Binary snapshots (`.npz`) store a
+preprocessed :class:`CheckInDataset` losslessly for fast reload.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .types import CheckIn, CheckInDataset, UserSequence, dataset_from_checkins
+
+
+def write_checkins_csv(dataset: CheckInDataset, path: str | Path) -> int:
+    """Dump a dataset to CSV (user,poi,lat,lon,timestamp); returns rows."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["user", "poi", "lat", "lon", "timestamp"])
+        for c in dataset.iter_checkins():
+            writer.writerow([c.user, c.poi, f"{c.lat:.7f}", f"{c.lon:.7f}", f"{c.timestamp:.3f}"])
+            count += 1
+    return count
+
+
+def read_checkins_csv(
+    path: str | Path,
+    name: Optional[str] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+    columns: Optional[Dict[str, int]] = None,
+) -> CheckInDataset:
+    """Load a check-in log from CSV/TSV.
+
+    ``columns`` maps field names (user, poi, lat, lon, timestamp) to
+    0-based column indices; the default matches our own CSV layout.
+    For SNAP-style dumps use
+    ``columns=dict(user=0, timestamp=1, lat=2, lon=3, poi=4)`` and
+    ``delimiter="\\t"`` (timestamps must already be numeric).
+    """
+    path = Path(path)
+    cols = columns or {"user": 0, "poi": 1, "lat": 2, "lon": 3, "timestamp": 4}
+    required = {"user", "poi", "lat", "lon", "timestamp"}
+    if set(cols) != required:
+        raise ValueError(f"columns must map exactly {sorted(required)}")
+    checkins: List[CheckIn] = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        if has_header:
+            next(reader, None)
+        for row in reader:
+            if not row:
+                continue
+            checkins.append(
+                CheckIn(
+                    user=int(row[cols["user"]]),
+                    poi=int(row[cols["poi"]]),
+                    lat=float(row[cols["lat"]]),
+                    lon=float(row[cols["lon"]]),
+                    timestamp=float(row[cols["timestamp"]]),
+                )
+            )
+    return dataset_from_checkins(name or path.stem, checkins)
+
+
+def write_checkins_jsonl(dataset: CheckInDataset, path: str | Path) -> int:
+    """Dump a dataset as one JSON object per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w") as fh:
+        for c in dataset.iter_checkins():
+            fh.write(
+                json.dumps(
+                    {"user": c.user, "poi": c.poi, "lat": c.lat,
+                     "lon": c.lon, "timestamp": c.timestamp}
+                )
+                + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_checkins_jsonl(path: str | Path, name: Optional[str] = None) -> CheckInDataset:
+    path = Path(path)
+    checkins: List[CheckIn] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            checkins.append(
+                CheckIn(
+                    user=int(row["user"]),
+                    poi=int(row["poi"]),
+                    lat=float(row["lat"]),
+                    lon=float(row["lon"]),
+                    timestamp=float(row["timestamp"]),
+                )
+            )
+    return dataset_from_checkins(name or path.stem, checkins)
+
+
+def save_dataset(dataset: CheckInDataset, path: str | Path) -> None:
+    """Lossless binary snapshot of a dataset (preserves POI ids)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    users = dataset.users()
+    arrays = {
+        "name": np.frombuffer(dataset.name.encode("utf-8"), dtype=np.uint8).copy(),
+        "poi_coords": dataset.poi_coords,
+        "users": np.array(users, dtype=np.int64),
+    }
+    for user in users:
+        seq = dataset.sequences[user]
+        arrays[f"pois_{user}"] = seq.pois
+        arrays[f"times_{user}"] = seq.times
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset_snapshot(path: str | Path) -> CheckInDataset:
+    """Inverse of :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        name = archive["name"].tobytes().decode("utf-8")
+        coords = archive["poi_coords"]
+        sequences = {}
+        for user in archive["users"]:
+            user = int(user)
+            sequences[user] = UserSequence(
+                user=user,
+                pois=archive[f"pois_{user}"],
+                times=archive[f"times_{user}"],
+            )
+    return CheckInDataset(name=name, poi_coords=coords, sequences=sequences)

@@ -1,0 +1,73 @@
+"""Dataset preprocessing: cold-user / cold-POI filtering.
+
+The paper: "we remove the users who visit less than 20 POIs and the
+POIs that have been interacted with fewer than 10 times."  Removing
+POIs can push users below the threshold and vice versa, so the filter
+iterates to a fixed point, then re-indexes POI ids to stay contiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .types import CheckInDataset, UserSequence
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    min_user_checkins: int = 20
+    min_poi_checkins: int = 10
+    max_iterations: int = 50
+
+
+def filter_cold(dataset: CheckInDataset, config: PreprocessConfig = PreprocessConfig()) -> CheckInDataset:
+    """Iteratively drop cold users and POIs, then re-index POIs.
+
+    Returns a new dataset; the input is never mutated.
+    """
+    sequences = {u: (s.pois.copy(), s.times.copy()) for u, s in dataset.sequences.items()}
+    num_pois = dataset.num_pois
+
+    for _ in range(config.max_iterations):
+        changed = False
+
+        # Drop cold users.
+        cold_users = [u for u, (p, _) in sequences.items() if len(p) < config.min_user_checkins]
+        if cold_users:
+            changed = True
+            for u in cold_users:
+                del sequences[u]
+
+        # Drop check-ins at cold POIs.
+        counts = np.zeros(num_pois + 1, dtype=np.int64)
+        for pois, _ in sequences.values():
+            np.add.at(counts, pois, 1)
+        cold_poi = counts < config.min_poi_checkins
+        cold_poi[0] = False
+        if cold_poi[1:].any():
+            hot = ~cold_poi
+            for u in list(sequences):
+                pois, times = sequences[u]
+                keep = hot[pois]
+                if not keep.all():
+                    changed = True
+                    sequences[u] = (pois[keep], times[keep])
+
+        if not changed:
+            break
+
+    # Re-index POIs to contiguous 1..P (ordered by old id for determinism).
+    used = sorted({int(p) for pois, _ in sequences.values() for p in pois})
+    remap = np.zeros(num_pois + 1, dtype=np.int64)
+    for new_id, old_id in enumerate(used, start=1):
+        remap[old_id] = new_id
+    coords = np.zeros((len(used) + 1, 2))
+    coords[1:] = dataset.poi_coords[used]
+
+    new_sequences: Dict[int, UserSequence] = {}
+    for u, (pois, times) in sequences.items():
+        new_sequences[u] = UserSequence(user=u, pois=remap[pois], times=times)
+    return CheckInDataset(name=dataset.name, poi_coords=coords, sequences=new_sequences)

@@ -1,0 +1,131 @@
+"""Metrics beyond the paper's HR/NDCG: MRR, MAP, catalogue coverage,
+intra-list diversity, and a paired-bootstrap significance test.
+
+The paper reports HR@k and NDCG@k only; these are the complementary
+measures a production team would track when adopting the system, plus
+the statistical machinery to decide whether a Table III delta is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..geo.haversine import pairwise_haversine
+
+
+def mrr(ranks: np.ndarray) -> float:
+    """Mean reciprocal rank of the (single) target."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    return float((1.0 / ranks).mean())
+
+
+def map_at_k(ranks: np.ndarray, k: int) -> float:
+    """Mean average precision at k for single-target instances.
+
+    With one relevant item, AP@k reduces to 1/rank when rank <= k.
+    """
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.where(ranks <= k, 1.0 / ranks, 0.0).mean())
+
+
+def catalogue_coverage(recommended: Iterable[np.ndarray], num_pois: int) -> float:
+    """Fraction of the POI catalogue that ever appears in a Top-K list.
+
+    Low coverage signals popularity bias — the recommender only ever
+    suggests the same head POIs.
+    """
+    if num_pois <= 0:
+        raise ValueError("num_pois must be positive")
+    seen = set()
+    for row in recommended:
+        seen.update(int(p) for p in np.asarray(row).reshape(-1))
+    seen.discard(0)
+    return len(seen) / num_pois
+
+
+def geographic_diversity(recommended: np.ndarray, poi_coords: np.ndarray) -> float:
+    """Mean pairwise haversine distance (km) inside each Top-K list.
+
+    A spatial recommender that only suggests one city block scores near
+    zero; higher values mean more spatially diverse suggestions.
+    """
+    recommended = np.asarray(recommended, dtype=np.int64)
+    if recommended.ndim != 2:
+        raise ValueError("expected (b, k) recommendation lists")
+    if recommended.shape[1] < 2:
+        return 0.0
+    means = []
+    for row in recommended:
+        coords = poi_coords[row]
+        d = pairwise_haversine(coords)
+        upper = d[np.triu_indices(len(row), k=1)]
+        means.append(upper.mean())
+    return float(np.mean(means))
+
+
+@dataclass
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison of two systems."""
+
+    mean_delta: float
+    ci_low: float
+    ci_high: float
+    p_value: float          # two-sided: P(delta sign flips)
+    num_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% confidence interval excludes zero."""
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def paired_bootstrap(
+    metric_a: np.ndarray,
+    metric_b: np.ndarray,
+    num_samples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Paired bootstrap over per-instance metric values.
+
+    ``metric_a``/``metric_b`` are per-evaluation-instance scores (e.g.
+    the 0/1 hit indicator or per-instance NDCG) for two systems on the
+    *same* instances.  Returns the bootstrap distribution of
+    mean(a) − mean(b).
+    """
+    a = np.asarray(metric_a, dtype=np.float64)
+    b = np.asarray(metric_b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("metric arrays must be equal-length 1-D")
+    if a.size == 0:
+        raise ValueError("no instances to bootstrap")
+    rng = rng or np.random.default_rng()
+    delta = a - b
+    idx = rng.integers(0, a.size, size=(num_samples, a.size))
+    samples = delta[idx].mean(axis=1)
+    observed = float(delta.mean())
+    sign_flips = float(np.mean(samples <= 0) if observed > 0 else np.mean(samples >= 0))
+    return BootstrapResult(
+        mean_delta=observed,
+        ci_low=float(np.percentile(samples, 2.5)),
+        ci_high=float(np.percentile(samples, 97.5)),
+        p_value=min(1.0, 2.0 * sign_flips),
+        num_samples=num_samples,
+    )
+
+
+def per_instance_hits(ranks: np.ndarray, k: int) -> np.ndarray:
+    """0/1 hit indicator per instance — bootstrap-ready HR@k."""
+    return (np.asarray(ranks) <= k).astype(np.float64)
+
+
+def per_instance_ndcg(ranks: np.ndarray, k: int) -> np.ndarray:
+    """Per-instance NDCG@k — bootstrap-ready."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    return np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)

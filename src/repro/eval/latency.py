@@ -1,0 +1,103 @@
+"""Inference latency / throughput measurement.
+
+The paper's "lightweight" claim is argued in FLOPs (Table VI); this
+module measures it operationally: wall-clock per-query latency and
+queries-per-second of ``score_candidates`` on a fixed workload, so two
+models can be compared on the same slate sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..data.sequences import EvalExample
+from ..data.types import CheckInDataset
+from ..nn.tensor import no_grad
+
+
+@dataclass
+class LatencyReport:
+    """Latency statistics over repeated scoring calls (seconds)."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    queries_per_second: float
+    batch_size: int
+    num_candidates: int
+    num_calls: int
+
+    def __str__(self) -> str:
+        return (
+            f"mean={self.mean_s * 1e3:.1f}ms p50={self.p50_s * 1e3:.1f}ms "
+            f"p95={self.p95_s * 1e3:.1f}ms qps={self.queries_per_second:.1f} "
+            f"(batch={self.batch_size}, candidates={self.num_candidates})"
+        )
+
+
+def measure_scoring_latency(
+    model,
+    examples: List[EvalExample],
+    candidates: np.ndarray,
+    batch_size: int = 16,
+    num_calls: int = 10,
+    warmup: int = 2,
+) -> LatencyReport:
+    """Time repeated ``score_candidates`` calls on a fixed batch.
+
+    ``candidates``: (c,) slate used for every instance (latency depends
+    on shape, not content).
+    """
+    if not examples:
+        raise ValueError("no examples to measure on")
+    if num_calls < 1:
+        raise ValueError("num_calls must be >= 1")
+    batch = examples[:batch_size]
+    src = np.stack([e.src_pois for e in batch])
+    times = np.stack([e.src_times for e in batch])
+    slates = np.tile(np.asarray(candidates, dtype=np.int64), (len(batch), 1))
+
+    durations = []
+    with no_grad():
+        for call in range(warmup + num_calls):
+            t0 = time.perf_counter()
+            model.score_candidates(src, times, slates)
+            elapsed = time.perf_counter() - t0
+            if call >= warmup:
+                durations.append(elapsed)
+    durations = np.asarray(durations)
+    per_query = durations / len(batch)
+    return LatencyReport(
+        mean_s=float(per_query.mean()),
+        p50_s=float(np.percentile(per_query, 50)),
+        p95_s=float(np.percentile(per_query, 95)),
+        queries_per_second=float(len(batch) / durations.mean()),
+        batch_size=len(batch),
+        num_candidates=slates.shape[1],
+        num_calls=num_calls,
+    )
+
+
+def compare_latency(
+    models: dict,
+    examples: List[EvalExample],
+    dataset: CheckInDataset,
+    num_candidates: int = 100,
+    batch_size: int = 16,
+    num_calls: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> dict:
+    """Measure several fitted models on an identical workload."""
+    rng = rng or np.random.default_rng(0)
+    k = min(num_candidates, dataset.num_pois)
+    slate = rng.choice(np.arange(1, dataset.num_pois + 1), size=k, replace=False)
+    return {
+        name: measure_scoring_latency(
+            model, examples, slate, batch_size=batch_size, num_calls=num_calls
+        )
+        for name, model in models.items()
+    }

@@ -1,0 +1,99 @@
+"""Ranking metrics — Section IV-C, Eqs. (13) and (14).
+
+The evaluation protocol ranks the single ground-truth target among 101
+candidates (target + 100 nearest unvisited POIs).  With one relevant
+item, Hit Rate equals Recall, and NDCG@k reduces to
+``1 / log2(rank + 1)`` when the target lands at 1-indexed ``rank <= k``
+(the ideal DCG is 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+
+def hit_rate_at_k(ranks: np.ndarray, k: int) -> float:
+    """Fraction of evaluation instances whose target rank is <= k.
+
+    ``ranks`` are 1-indexed positions of the target in the ranked list.
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float((ranks <= k).mean())
+
+
+def ndcg_at_k(ranks: np.ndarray, k: int) -> float:
+    """Mean NDCG@k for single-target instances."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        return 0.0
+    gains = np.where(ranks <= k, 1.0 / np.log2(ranks + 1.0), 0.0)
+    return float(gains.mean())
+
+
+def target_ranks(scores: np.ndarray, target_index: int = 0) -> np.ndarray:
+    """1-indexed rank of the target within each score row.
+
+    ``scores``: (b, c) preference scores; the target sits at column
+    ``target_index``.  Ties are broken pessimistically (an equal score
+    counts as ranked ahead of the target), so a constant scorer cannot
+    look artificially good.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    target = scores[:, target_index][:, None]
+    better = (scores > target).sum(axis=1)
+    ties = (scores == target).sum(axis=1) - 1  # exclude the target itself
+    return (better + ties + 1).astype(np.int64)
+
+
+@dataclass
+class MetricReport:
+    """HR/NDCG at the paper's cutoffs (5 and 10)."""
+
+    hr5: float
+    ndcg5: float
+    hr10: float
+    ndcg10: float
+    num_instances: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "HR@5": self.hr5,
+            "NDCG@5": self.ndcg5,
+            "HR@10": self.hr10,
+            "NDCG@10": self.ndcg10,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"HR@5={self.hr5:.4f} NDCG@5={self.ndcg5:.4f} "
+            f"HR@10={self.hr10:.4f} NDCG@10={self.ndcg10:.4f}"
+        )
+
+
+def report_from_ranks(ranks: Iterable[int]) -> MetricReport:
+    ranks = np.asarray(list(ranks))
+    return MetricReport(
+        hr5=hit_rate_at_k(ranks, 5),
+        ndcg5=ndcg_at_k(ranks, 5),
+        hr10=hit_rate_at_k(ranks, 10),
+        ndcg10=ndcg_at_k(ranks, 10),
+        num_instances=int(ranks.size),
+    )
+
+
+def average_reports(reports: List[MetricReport]) -> MetricReport:
+    """Unweighted mean across repeated runs (the paper's 10-round mean)."""
+    if not reports:
+        raise ValueError("no reports to average")
+    return MetricReport(
+        hr5=float(np.mean([r.hr5 for r in reports])),
+        ndcg5=float(np.mean([r.ndcg5 for r in reports])),
+        hr10=float(np.mean([r.hr10 for r in reports])),
+        ndcg10=float(np.mean([r.ndcg10 for r in reports])),
+        num_instances=reports[0].num_instances,
+    )

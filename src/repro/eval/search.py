@@ -1,0 +1,96 @@
+"""Hyper-parameter grid search over the experiment runner.
+
+The paper tunes per-dataset temperatures and thresholds (Section IV-D,
+Fig. 9); this utility automates that kind of sweep: a cartesian grid of
+TrainConfig / STiSANConfig overrides evaluated with the standard
+protocol, returning every cell plus the best setting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..data.types import CheckInDataset
+from .metrics import MetricReport
+from .runner import ExperimentConfig, run_rounds
+
+#: Keys belonging to TrainConfig; everything else targets STiSANConfig.
+_TRAIN_KEYS = {
+    "epochs", "batch_size", "learning_rate", "num_negatives",
+    "negative_pool", "temperature", "grad_clip", "seed", "verbose",
+}
+
+
+@dataclass
+class GridCell:
+    """One evaluated grid point."""
+
+    overrides: Dict[str, Any]
+    report: MetricReport
+
+
+@dataclass
+class GridSearchResult:
+    cells: List[GridCell] = field(default_factory=list)
+    metric: str = "NDCG@10"
+
+    @property
+    def best(self) -> GridCell:
+        if not self.cells:
+            raise ValueError("empty grid")
+        return max(self.cells, key=lambda c: c.report.as_dict()[self.metric])
+
+    def as_table(self) -> str:
+        lines = []
+        for cell in sorted(
+            self.cells,
+            key=lambda c: -c.report.as_dict()[self.metric],
+        ):
+            spec = ", ".join(f"{k}={v}" for k, v in cell.overrides.items())
+            lines.append(f"{cell.report.as_dict()[self.metric]:.4f}  {spec}")
+        return "\n".join(lines)
+
+
+def grid_search(
+    model_name: str,
+    dataset: CheckInDataset,
+    grid: Dict[str, List[Any]],
+    base: Optional[ExperimentConfig] = None,
+    rounds: int = 1,
+    metric: str = "NDCG@10",
+) -> GridSearchResult:
+    """Evaluate every combination in ``grid``.
+
+    ``grid`` maps parameter names to candidate values. TrainConfig
+    fields (epochs, learning_rate, temperature, …) and STiSANConfig
+    fields (dropout, num_blocks, …) may be mixed freely; each is routed
+    to the right config object.
+    """
+    if not grid:
+        raise ValueError("empty grid")
+    base = base or ExperimentConfig()
+    names = list(grid)
+    result = GridSearchResult(metric=metric)
+    for values in itertools.product(*(grid[n] for n in names)):
+        overrides = dict(zip(names, values))
+        train_over = {k: v for k, v in overrides.items() if k in _TRAIN_KEYS}
+        model_over = {k: v for k, v in overrides.items() if k not in _TRAIN_KEYS}
+        cfg = ExperimentConfig(
+            max_len=base.max_len,
+            dim=base.dim,
+            num_candidates=base.num_candidates,
+            train=replace(base.train, **train_over),
+            stisan_config=(
+                replace(base.stisan_config, **model_over)
+                if base.stisan_config is not None and model_over
+                else base.stisan_config
+            ),
+            seed=base.seed,
+        )
+        if model_over and base.stisan_config is None and model_name in ("STiSAN", "GeoSAN"):
+            raise ValueError("model overrides require a base stisan_config")
+        report = run_rounds(model_name, dataset, cfg, rounds=rounds)
+        result.cells.append(GridCell(overrides=overrides, report=report))
+    return result

@@ -1,0 +1,21 @@
+"""``repro.geo`` — geography substrate: haversine distances, quadkey
+encoding (GeoSAN geography-encoder input), KD-tree POI neighbourhood
+search, and coarse gridding."""
+
+from .gridding import GridSpec
+from .haversine import EARTH_RADIUS_KM, haversine, pairwise_haversine
+from .neighbors import PoiIndex, chord_to_km, latlon_to_unit_xyz
+from .quadkey import QuadkeyVocab, latlon_to_quadkey, quadkey_to_ngrams
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "haversine",
+    "pairwise_haversine",
+    "PoiIndex",
+    "latlon_to_unit_xyz",
+    "chord_to_km",
+    "GridSpec",
+    "latlon_to_quadkey",
+    "quadkey_to_ngrams",
+    "QuadkeyVocab",
+]

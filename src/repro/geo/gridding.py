@@ -1,0 +1,65 @@
+"""Coarse spatial gridding utilities.
+
+FPMC-LR constrains personalized transitions to a user's neighbourhood
+grid cells; the synthetic data generator also uses grids to plant
+spatial clusters.  Cells are indexed by (row, col) over a bounding box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A regular lat/lon grid over a bounding box."""
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    rows: int
+    cols: int
+
+    def __post_init__(self):
+        if self.lat_max <= self.lat_min or self.lon_max <= self.lon_min:
+            raise ValueError("degenerate bounding box")
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must have at least one cell")
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def cell_of(self, lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+        """Vectorized (lat, lon) -> flat cell index; clamps to the box."""
+        lat = np.clip(np.asarray(lat, dtype=np.float64), self.lat_min, self.lat_max)
+        lon = np.clip(np.asarray(lon, dtype=np.float64), self.lon_min, self.lon_max)
+        r = np.minimum(
+            ((lat - self.lat_min) / (self.lat_max - self.lat_min) * self.rows).astype(np.int64),
+            self.rows - 1,
+        )
+        c = np.minimum(
+            ((lon - self.lon_min) / (self.lon_max - self.lon_min) * self.cols).astype(np.int64),
+            self.cols - 1,
+        )
+        return r * self.cols + c
+
+    def cell_center(self, cell: int) -> Tuple[float, float]:
+        r, c = divmod(int(cell), self.cols)
+        if not (0 <= r < self.rows):
+            raise IndexError(f"cell {cell} out of range")
+        lat = self.lat_min + (r + 0.5) / self.rows * (self.lat_max - self.lat_min)
+        lon = self.lon_min + (c + 0.5) / self.cols * (self.lon_max - self.lon_min)
+        return lat, lon
+
+    def neighbors_of(self, cell: int, radius: int = 1) -> np.ndarray:
+        """Flat indices of cells within Chebyshev ``radius`` (incl. self)."""
+        r, c = divmod(int(cell), self.cols)
+        rs = np.arange(max(0, r - radius), min(self.rows, r + radius + 1))
+        cs = np.arange(max(0, c - radius), min(self.cols, c + radius + 1))
+        rr, cc = np.meshgrid(rs, cs, indexing="ij")
+        return (rr * self.cols + cc).reshape(-1)

@@ -1,0 +1,99 @@
+"""k-nearest-neighbour search over POI coordinates.
+
+Used for two protocol pieces of the paper:
+
+- training negatives: "retrieve the L nearest POIs around [the target]"
+  sampled "from the target's nearest 2000 neighbours";
+- evaluation candidates: "the nearest 100 previously unvisited POIs
+  around the target".
+
+We build a scipy cKDTree over 3-D unit-sphere projections of the GPS
+coordinates so Euclidean KD-tree distances order identically to
+great-circle distances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from .haversine import EARTH_RADIUS_KM
+
+
+def latlon_to_unit_xyz(coords: np.ndarray) -> np.ndarray:
+    """(n, 2) degrees -> (n, 3) points on the unit sphere.
+
+    Chordal (Euclidean) distance is monotone in central angle, so
+    nearest neighbours in xyz space match haversine nearest neighbours.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    lat = np.radians(coords[:, 0])
+    lon = np.radians(coords[:, 1])
+    cos_lat = np.cos(lat)
+    return np.stack([cos_lat * np.cos(lon), cos_lat * np.sin(lon), np.sin(lat)], axis=1)
+
+
+def chord_to_km(chord: np.ndarray) -> np.ndarray:
+    """Convert unit-sphere chord length to great-circle km."""
+    half = np.clip(np.asarray(chord) / 2.0, 0.0, 1.0)
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(half)
+
+
+class PoiIndex:
+    """Spatial index over the POI catalogue.
+
+    Parameters
+    ----------
+    coords : (num_pois, 2) array of (lat, lon); row i is POI id ``offset + i``.
+    offset : first valid POI id (default 1: id 0 is the padding POI).
+    """
+
+    def __init__(self, coords: np.ndarray, offset: int = 1):
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise ValueError(f"expected (n, 2) coords, got {coords.shape}")
+        self.coords = coords
+        self.offset = offset
+        self._xyz = latlon_to_unit_xyz(coords)
+        self._tree = cKDTree(self._xyz)
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def query(self, poi_id: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (ids, distances_km) of the k nearest POIs to ``poi_id``,
+        excluding the query POI itself, ordered by distance."""
+        row = poi_id - self.offset
+        if not 0 <= row < len(self.coords):
+            raise IndexError(f"POI id {poi_id} out of range")
+        k_eff = min(k + 1, len(self.coords))
+        dist, idx = self._tree.query(self._xyz[row], k=k_eff)
+        dist = np.atleast_1d(dist)
+        idx = np.atleast_1d(idx)
+        keep = idx != row
+        idx, dist = idx[keep][:k], dist[keep][:k]
+        return idx + self.offset, chord_to_km(dist)
+
+    def nearest_excluding(
+        self,
+        poi_id: int,
+        k: int,
+        exclude: Optional[set] = None,
+    ) -> np.ndarray:
+        """The k nearest POI ids to ``poi_id`` not in ``exclude``.
+
+        Implements the evaluation-candidate retrieval: nearest 100
+        *previously unvisited* POIs around the target.
+        """
+        exclude = exclude or set()
+        # Expand the search window until enough survivors are found.
+        want = k
+        window = k + len(exclude) + 1
+        while True:
+            ids, _ = self.query(poi_id, min(window, len(self.coords) - 1))
+            survivors = [int(p) for p in ids if p not in exclude]
+            if len(survivors) >= want or len(ids) >= len(self.coords) - 1:
+                return np.array(survivors[:want], dtype=np.int64)
+            window *= 2

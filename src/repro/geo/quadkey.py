@@ -1,0 +1,110 @@
+"""Map-tile quadkey encoding — the input representation of GeoSAN's
+geography encoder (Lian et al., KDD 2020), which STiSAN reuses for its
+GPS coordinate encoding.
+
+A (lat, lon) pair is projected to Web-Mercator tile coordinates at a
+fixed zoom ``level``; interleaving the x/y tile bits yields a base-4
+string (the *quadkey*).  Nearby locations share long quadkey prefixes,
+which is the property the n-gram geography encoder exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+MIN_LATITUDE = -85.05112878
+MAX_LATITUDE = 85.05112878
+MIN_LONGITUDE = -180.0
+MAX_LONGITUDE = 180.0
+
+
+def latlon_to_quadkey(lat: float, lon: float, level: int = 17) -> str:
+    """Encode a GPS coordinate as a quadkey string of length ``level``."""
+    if not 1 <= level <= 23:
+        raise ValueError(f"zoom level must be in [1, 23], got {level}")
+    lat = min(max(float(lat), MIN_LATITUDE), MAX_LATITUDE)
+    lon = min(max(float(lon), MIN_LONGITUDE), MAX_LONGITUDE)
+
+    x = (lon + 180.0) / 360.0
+    sin_lat = np.sin(np.radians(lat))
+    y = 0.5 - np.log((1.0 + sin_lat) / (1.0 - sin_lat)) / (4.0 * np.pi)
+
+    map_size = 1 << level
+    tile_x = int(min(max(x * map_size, 0), map_size - 1))
+    tile_y = int(min(max(y * map_size, 0), map_size - 1))
+
+    digits: List[str] = []
+    for i in range(level, 0, -1):
+        digit = 0
+        mask = 1 << (i - 1)
+        if tile_x & mask:
+            digit += 1
+        if tile_y & mask:
+            digit += 2
+        digits.append(str(digit))
+    return "".join(digits)
+
+
+def quadkey_to_ngrams(quadkey: str, n: int = 6) -> List[str]:
+    """Split a quadkey into overlapping character n-grams.
+
+    GeoSAN feeds these n-grams to a small self-attention encoder; we do
+    the same in :mod:`repro.core.geo_encoder`.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if len(quadkey) < n:
+        return [quadkey]
+    return [quadkey[i:i + n] for i in range(len(quadkey) - n + 1)]
+
+
+class QuadkeyVocab:
+    """Bidirectional mapping between quadkey n-grams and integer ids.
+
+    Id 0 is reserved for padding; unseen n-grams map to id 1 (<unk>).
+
+    With ``position_tagged`` (default), the vocabulary key is the
+    (position, gram) pair rather than the bare gram: the same 4 digits
+    near the head of a quadkey (a coarse ~city-scale tile) and near its
+    tail (a ~street-scale tile) get distinct embeddings, so the
+    coarse-to-fine hierarchy survives order-insensitive pooling.
+    """
+
+    PAD = 0
+    UNK = 1
+
+    def __init__(self, n: int = 6, position_tagged: bool = True):
+        self.n = n
+        self.position_tagged = position_tagged
+        self._to_id = {}
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._to_id) + 2
+
+    def freeze(self) -> "QuadkeyVocab":
+        self._frozen = True
+        return self
+
+    def encode(self, quadkey: str) -> List[int]:
+        ids = []
+        for pos, gram in enumerate(quadkey_to_ngrams(quadkey, self.n)):
+            key = (pos, gram) if self.position_tagged else gram
+            if key not in self._to_id:
+                if self._frozen:
+                    ids.append(self.UNK)
+                    continue
+                self._to_id[key] = len(self._to_id) + 2
+            ids.append(self._to_id[key])
+        return ids
+
+    def encode_batch(self, quadkeys: List[str]) -> np.ndarray:
+        """Encode many quadkeys into a right-padded (len, max_grams) id array."""
+        rows = [self.encode(q) for q in quadkeys]
+        width = max(len(r) for r in rows)
+        out = np.full((len(rows), width), self.PAD, dtype=np.int64)
+        for i, row in enumerate(rows):
+            out[i, :len(row)] = row
+        return out

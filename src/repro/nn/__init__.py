@@ -1,0 +1,93 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning substrate.
+
+The paper's reference implementation runs on PyTorch; this package
+provides the equivalent primitives (reverse-mode autograd, layers,
+attention, recurrent and convolutional cells, optimizers) so the whole
+reproduction runs on numpy alone.
+"""
+
+from . import functional
+from .attention import (
+    MultiHeadAttention,
+    SelfAttention,
+    causal_mask,
+    scaled_dot_product_attention,
+)
+from .conv import HorizontalConv, VerticalConv, unfold_sequence
+from .layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    PositionwiseFeedForward,
+    ReLU,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import SGD, Adam, AdamW, Optimizer
+from .rnn import GRU, GRUCell, LSTMCell, STGNCell
+from .schedulers import (
+    CosineAnnealingLR,
+    ExponentialLR,
+    LRScheduler,
+    StepLR,
+    WarmupCosineLR,
+    lr_trace,
+)
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import (
+    Tensor,
+    concatenate,
+    matmul,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    where,
+    zeros,
+)
+
+__all__ = [
+    "functional",
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "matmul",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "PositionwiseFeedForward",
+    "SelfAttention",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "causal_mask",
+    "GRU",
+    "GRUCell",
+    "LSTMCell",
+    "STGNCell",
+    "HorizontalConv",
+    "VerticalConv",
+    "unfold_sequence",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "ExponentialLR",
+    "CosineAnnealingLR",
+    "WarmupCosineLR",
+    "lr_trace",
+    "save_checkpoint",
+    "load_checkpoint",
+]

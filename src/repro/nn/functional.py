@@ -1,0 +1,220 @@
+"""Differentiable functional operations built on :mod:`repro.nn.tensor`.
+
+These compose the primitive Tensor ops into the numerically-stable
+building blocks used by the models: softmax, log-sigmoid losses,
+layer normalization, dropout, and the binary cross-entropy variants
+used in STiSAN's training objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled, unbroadcast
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (fused backward)."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    out_data = ex / ex.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate((out_data * (grad - dot)).astype(np.float32))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(
+                (grad - soft * grad.sum(axis=axis, keepdims=True)).astype(np.float32)
+            )
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_sigmoid(x: Tensor) -> Tensor:
+    """log(sigmoid(x)) computed stably: -softplus(-x)."""
+    data = x.data
+    out_data = np.where(data >= 0, -np.log1p(np.exp(-data)), data - np.log1p(np.exp(data)))
+    sig = np.where(
+        data >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(data, 0, None))),
+        np.exp(np.clip(data, None, 0)) / (1.0 + np.exp(np.clip(data, None, 0))),
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate((grad * (1.0 - sig)).astype(np.float32))
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def layer_norm(
+    x: Tensor, alpha: Tensor, beta: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """LayerNorm over the last dimension — Eq. (9) of the paper.
+
+    ``alpha`` and ``beta`` are the learned scale and shift parameters.
+    """
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normed = (x - mu) * ((var + eps) ** -0.5)
+    return normed * alpha + beta
+
+
+def dropout(
+    x: Tensor,
+    rate: float,
+    rng: Optional[np.random.Generator] = None,
+    training: bool = True,
+) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-rate)."""
+    if not training or rate <= 0.0 or not is_grad_enabled():
+        return x
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be < 1")
+    if rng is None:
+        rng = np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    return x * Tensor(mask)
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Stable BCE on raw scores: max(x,0) - x*y + log(1+exp(-|x|))."""
+    y = Tensor(np.asarray(targets, dtype=np.float32))
+    loss = logits.relu() - logits * y + softplus(-abs_tensor(logits))
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def softplus(x: Tensor) -> Tensor:
+    data = x.data
+    out_data = np.where(data > 20, data, np.log1p(np.exp(np.clip(data, None, 20))))
+    sig = 1.0 / (1.0 + np.exp(-np.clip(data, -60, 60)))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate((grad * sig).astype(np.float32))
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def abs_tensor(x: Tensor) -> Tensor:
+    out_data = np.abs(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate((grad * np.sign(x.data)).astype(np.float32))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    data = x.data.astype(np.float64)
+    inner = np.sqrt(2.0 / np.pi) * (data + 0.044715 * data ** 3)
+    t = np.tanh(inner)
+    out_data = (0.5 * data * (1.0 + t)).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            d_inner = np.sqrt(2.0 / np.pi) * (1.0 + 3 * 0.044715 * data ** 2)
+            d = 0.5 * (1.0 + t) + 0.5 * data * (1.0 - t ** 2) * d_inner
+            x._accumulate((grad * d).astype(np.float32))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(
+                (grad * np.where(x.data > 0, 1.0, negative_slope)).astype(np.float32)
+            )
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    expm = np.exp(np.clip(x.data, None, 30.0)) - 1.0
+    out_data = np.where(x.data > 0, x.data, alpha * expm)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            d = np.where(x.data > 0, 1.0, alpha * (expm + 1.0))
+            x._accumulate((grad * d).astype(np.float32))
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray, padding_idx: Optional[int] = None) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices``.
+
+    ``padding_idx`` rows contribute zero vectors and receive no gradient,
+    implementing the paper's zero-encoded padding check-ins.
+    """
+    idx = np.asarray(indices)
+    out_data = weight.data[idx]
+    if padding_idx is not None:
+        out_data = out_data.copy()
+        out_data[idx == padding_idx] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            g = grad
+            if padding_idx is not None:
+                g = np.where((idx == padding_idx)[..., None], 0.0, grad)
+            np.add.at(full, idx, g)
+            weight._accumulate(full)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> Tensor:
+    """Mean token-level cross entropy over the last axis of ``logits``."""
+    targets = np.asarray(targets)
+    logp = log_softmax(logits, axis=-1)
+    flat_logp = logp.reshape(-1, logits.shape[-1])
+    flat_t = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_t != ignore_index
+    else:
+        keep = np.ones_like(flat_t, dtype=bool)
+    rows = np.nonzero(keep)[0]
+    picked = flat_logp[rows, flat_t[keep]]
+    return -picked.mean()

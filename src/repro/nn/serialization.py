@@ -1,0 +1,39 @@
+"""Checkpoint save/load for Module state dicts using ``numpy.savez``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .module import Module
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(module: Module, path: str | Path, meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write a module's parameters (and optional JSON metadata) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    arrays = dict(state)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta or {}).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> Dict[str, Any]:
+    """Load parameters into ``module`` and return the stored metadata."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8") if _META_KEY in archive else "{}"
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+    module.load_state_dict(state, strict=strict)
+    return json.loads(meta_raw)

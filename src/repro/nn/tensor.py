@@ -1,0 +1,579 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+This module is the computational substrate for every model in the
+repository.  The paper's reference implementation uses PyTorch; this
+environment has no deep-learning framework installed, so we implement
+the minimum viable equivalent: a :class:`Tensor` wrapping a float32
+numpy array, a tape of parent links built during the forward pass, and
+:meth:`Tensor.backward` performing a topological-order sweep that
+accumulates gradients.
+
+Design notes
+------------
+- Gradients are plain ``numpy.ndarray`` objects stored on ``.grad``.
+- Broadcasting is fully supported; :func:`unbroadcast` reduces an
+  upstream gradient back to the shape of the operand that produced it.
+- Only float32 data participates in differentiation.  Integer arrays
+  (indices) may be wrapped in a Tensor for convenience but are never
+  differentiated through.
+- No in-place autograd mutation: every op returns a fresh Tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (eval / inference)."""
+
+    def __enter__(self):
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        global _grad_enabled
+        _grad_enabled = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    return _grad_enabled
+
+
+def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    arr = np.asarray(value)
+    if arr.dtype != dtype and np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(dtype)
+    return arr
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor with reverse-mode autograd support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # so ndarray + Tensor dispatches to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if np.issubdtype(arr.dtype, np.floating) and arr.dtype != np.float32:
+            arr = arr.astype(np.float32)
+        self.data = arr
+        self.requires_grad = bool(requires_grad) and _grad_enabled
+        self.grad: Optional[np.ndarray] = None
+        self._parents = tuple(_parents) if self.requires_grad or _parents else ()
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    # ------------------------------------------------------------------
+    # Graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float32)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        ``grad`` defaults to ones (and must be supplied for non-scalar
+        outputs only if a non-trivial seed is wanted).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float32)
+        else:
+            grad = np.asarray(grad, dtype=np.float32)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+                )
+
+        # Topological sort (iterative to avoid recursion limits).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(-grad, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other)) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-grad * self.data / (other.data ** 2), other.data.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other)) / self
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        return matmul(self, other)
+
+    # Comparisons produce detached boolean tensors (non-differentiable).
+    def __gt__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data > _as_array(other))
+
+    def __lt__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data < _as_array(other))
+
+    def __ge__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data >= _as_array(other))
+
+    def __le__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(self.data <= _as_array(other))
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        """Transpose; with no arguments swaps the last two axes (>=2D) or
+        reverses all axes (numpy semantics for 1D/2D coincide)."""
+        if not axes:
+            if self.ndim < 2:
+                return self
+            perm = tuple(range(self.ndim - 2)) + (self.ndim - 1, self.ndim - 2)
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            perm = tuple(axes[0])
+        else:
+            perm = tuple(axes)
+        inverse = tuple(np.argsort(perm))
+        out_data = self.data.transpose(perm)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, idx) -> "Tensor":
+        if isinstance(idx, Tensor):
+            idx = idx.data
+        out_data = self.data[idx]
+        shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros(shape, dtype=np.float32)
+                np.add.at(full, idx, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % len(shape) for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+            self._accumulate(np.broadcast_to(g, shape).astype(np.float32))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            full_max = out_data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                for a in sorted(axes):
+                    g = np.expand_dims(g, a)
+                    full_max = np.expand_dims(full_max, a)
+            mask = (self.data == full_max).astype(np.float32)
+            # Split gradient evenly among ties, matching numpy-friendly
+            # subgradient behaviour.
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / denom)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic.
+        out_data = np.empty_like(self.data)
+        pos = self.data >= 0
+        out_data[pos] = 1.0 / (1.0 + np.exp(-self.data[pos]))
+        ex = np.exp(self.data[~pos])
+        out_data[~pos] = ex / (1.0 + ex)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inside = ((self.data >= low) & (self.data <= high)).astype(np.float32)
+                self._accumulate(grad * inside)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def masked_fill(self, mask: ArrayLike, value: float) -> "Tensor":
+        """Return a tensor with positions where ``mask`` is truthy replaced
+        by ``value``.  Gradient flows only through unmasked positions."""
+        mask_arr = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+        mask_arr = mask_arr.astype(bool)
+        out_data = np.where(mask_arr, np.float32(value), self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(np.where(mask_arr, 0.0, grad), self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+# ----------------------------------------------------------------------
+# Free functions
+# ----------------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Batched matrix multiply with full broadcasting support on batch dims."""
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a_mat = a.data if a.data.ndim > 1 else a.data[None, :]
+        b_mat = b.data if b.data.ndim > 1 else b.data[:, None]
+        g = grad
+        if a.data.ndim == 1:
+            g = np.expand_dims(g, -2)
+        if b.data.ndim == 1:
+            g = np.expand_dims(g, -1)
+        if a.requires_grad:
+            ga = g @ np.swapaxes(b_mat, -1, -2)
+            if a.data.ndim == 1:
+                ga = np.squeeze(ga, -2)
+            a._accumulate(unbroadcast(np.asarray(ga, dtype=np.float32), a.data.shape))
+        if b.requires_grad:
+            gb = np.swapaxes(a_mat, -1, -2) @ g
+            if b.data.ndim == 1:
+                gb = np.squeeze(gb, -1)
+            b._accumulate(unbroadcast(np.asarray(gb, dtype=np.float32), b.data.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        slicer = [slice(None)] * grad.ndim
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                slicer[axis] = slice(int(start), int(stop))
+                t._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.split(grad, len(tensors), axis=axis)
+        for t, g in zip(tensors, slices):
+            if t.requires_grad:
+                t._accumulate(np.squeeze(g, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def where(condition: ArrayLike, x: Tensor, y: Tensor) -> Tensor:
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = cond.astype(bool)
+    x = x if isinstance(x, Tensor) else Tensor(_as_array(x))
+    y = y if isinstance(y, Tensor) else Tensor(_as_array(y))
+    out_data = np.where(cond, x.data, y.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(unbroadcast(np.where(cond, grad, 0.0), x.data.shape))
+        if y.requires_grad:
+            y._accumulate(unbroadcast(np.where(cond, 0.0, grad), y.data.shape))
+
+    return Tensor._make(out_data, (x, y), backward)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    return Tensor(_as_array(data), requires_grad=requires_grad)

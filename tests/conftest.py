@@ -1,0 +1,40 @@
+"""Shared fixtures: tiny synthetic datasets reused across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.data import WorldConfig, generate_dataset
+from repro.data.preprocess import PreprocessConfig, filter_cold
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but realistic dataset: ~40 users, ~60 POIs."""
+    cfg = WorldConfig(
+        num_users=40,
+        num_pois=80,
+        num_clusters=8,
+        avg_seq_length=30.0,
+        min_seq_length=12,
+    )
+    ds = generate_dataset(cfg, seed=123, name="tiny")
+    return filter_cold(ds, PreprocessConfig(min_user_checkins=10, min_poi_checkins=3))
+
+
+@pytest.fixture(scope="session")
+def micro_dataset():
+    """An even smaller dataset for expensive model tests."""
+    cfg = WorldConfig(
+        num_users=12,
+        num_pois=40,
+        num_clusters=5,
+        avg_seq_length=20.0,
+        min_seq_length=10,
+    )
+    ds = generate_dataset(cfg, seed=7, name="micro")
+    return filter_cold(ds, PreprocessConfig(min_user_checkins=8, min_poi_checkins=2))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,128 @@
+"""Tests for the future-work attention/relation overlap study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attention_relation_overlap,
+    bhattacharyya,
+    dependency_decomposition,
+    jensen_shannon,
+)
+from repro.core.relation import RelationConfig, build_relation_matrix, scaled_relation_bias
+from repro.data.types import SECONDS_PER_DAY
+
+
+def _sequence(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(1, 50, size=n)
+    times = np.sort(rng.uniform(0, 30 * SECONDS_PER_DAY, size=n))
+    coords = np.zeros((51, 2))
+    coords[1:, 0] = rng.uniform(43, 44, size=50)
+    coords[1:, 1] = rng.uniform(125, 126, size=50)
+    return src, times, coords
+
+
+def _relation_dist(src, times, coords):
+    n = len(src)
+    pad = src == 0
+    relation = build_relation_matrix(times, coords[src], pad_mask=pad)
+    blocked = np.triu(np.ones((n, n), dtype=bool), k=1) | pad[None, :] | pad[:, None]
+    return scaled_relation_bias(relation, blocked), blocked
+
+
+class TestDivergences:
+    def test_bhattacharyya_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert bhattacharyya(p, p) == pytest.approx(1.0)
+
+    def test_bhattacharyya_disjoint(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert bhattacharyya(p, q) == pytest.approx(0.0)
+
+    def test_jsd_identical_zero(self):
+        p = np.array([0.4, 0.6])
+        assert jensen_shannon(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_jsd_bounded_by_ln2(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon(p, q) == pytest.approx(np.log(2), abs=1e-6)
+
+    def test_jsd_symmetric(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(5); p /= p.sum()
+        q = rng.random(5); q /= q.sum()
+        assert jensen_shannon(p, q) == pytest.approx(jensen_shannon(q, p))
+
+
+class TestOverlap:
+    def test_relation_vs_itself_is_perfect(self):
+        """Feeding the relation distribution as the 'attention' map must
+        give maximal overlap."""
+        src, times, coords = _sequence()
+        dist, _ = _relation_dist(src, times, coords)
+        report = attention_relation_overlap(dist, src, times, coords)
+        assert report.mean_bhattacharyya == pytest.approx(1.0, abs=1e-5)
+        assert report.mean_jsd == pytest.approx(0.0, abs=1e-5)
+        assert report.mean_relation_mass == pytest.approx(1.0, abs=1e-5)
+
+    def test_uniform_attention_partial_overlap(self):
+        src, times, coords = _sequence()
+        n = len(src)
+        blocked = np.triu(np.ones((n, n), dtype=bool), k=1)
+        uniform = np.where(~blocked, 1.0, 0.0)
+        uniform /= uniform.sum(axis=-1, keepdims=True)
+        report = attention_relation_overlap(uniform, src, times, coords)
+        assert 0.0 < report.mean_bhattacharyya <= 1.0
+        assert report.num_rows == n
+
+    def test_adversarial_attention_low_overlap(self):
+        """Attention concentrated on the spatio-temporally farthest
+        check-in must overlap less than the relation itself."""
+        src, times, coords = _sequence()
+        dist, blocked = _relation_dist(src, times, coords)
+        n = len(src)
+        adversarial = np.zeros((n, n))
+        for i in range(n):
+            visible = np.nonzero(~blocked[i])[0]
+            worst = visible[np.argmin(dist[i, visible])]
+            adversarial[i, worst] = 1.0
+        report = attention_relation_overlap(adversarial, src, times, coords)
+        assert report.mean_bhattacharyya < 0.95
+
+    def test_shape_validation(self):
+        src, times, coords = _sequence()
+        with pytest.raises(ValueError):
+            attention_relation_overlap(np.zeros((3, 3)), src, times, coords)
+
+    def test_custom_relation_config(self):
+        src, times, coords = _sequence()
+        dist, _ = _relation_dist(src, times, coords)
+        report = attention_relation_overlap(
+            dist, src, times, coords, relation_config=RelationConfig(5.0, 5.0)
+        )
+        # Different thresholds -> the same map no longer matches exactly.
+        assert report.mean_bhattacharyya <= 1.0
+
+
+class TestDecomposition:
+    def test_identical_fully_aligned(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((4, 4))
+        m /= m.sum(axis=-1, keepdims=True)
+        out = dependency_decomposition(m, m)
+        assert out["aligned_mass"] == pytest.approx(1.0)
+        assert out["residual_mass"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_fully_residual(self):
+        a = np.array([[1.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [0.0, 1.0]])
+        out = dependency_decomposition(a, b)
+        assert out["aligned_mass"] == pytest.approx(0.0)
+        assert out["residual_mass"] == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dependency_decomposition(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,175 @@
+"""Tests for the evaluation protocol, runner, FLOPs, and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    attention_study,
+    average_attention,
+    near_poi_attention_mass,
+    strong_spatial_correlation_histogram,
+    successive_attention_similarity,
+    tail_concentration,
+)
+from repro.core import STiSAN, STiSANConfig, TrainConfig
+from repro.data import partition
+from repro.eval import (
+    ExperimentConfig,
+    attention_encoder_flops,
+    compare_sa_iaab,
+    evaluate,
+    format_table,
+    run_experiment,
+    run_rounds,
+)
+
+
+class _OracleScorer:
+    """Scores the true target highest — a perfect recommender."""
+
+    def score_candidates(self, src, times, candidates, users=None):
+        scores = np.zeros(np.asarray(candidates).shape)
+        scores[:, 0] = 1.0  # protocol places the target at index 0
+        return scores
+
+
+class _AntiOracleScorer:
+    def score_candidates(self, src, times, candidates, users=None):
+        scores = np.ones(np.asarray(candidates).shape)
+        scores[:, 0] = -1.0
+        return scores
+
+
+class TestProtocol:
+    def test_oracle_gets_perfect_metrics(self, micro_dataset):
+        _, evaluation = partition(micro_dataset, n=8)
+        rep = evaluate(_OracleScorer(), micro_dataset, evaluation, num_candidates=20)
+        assert rep.hr5 == rep.hr10 == rep.ndcg5 == rep.ndcg10 == 1.0
+
+    def test_anti_oracle_gets_zero(self, micro_dataset):
+        _, evaluation = partition(micro_dataset, n=8)
+        rep = evaluate(_AntiOracleScorer(), micro_dataset, evaluation, num_candidates=20)
+        assert rep.hr10 == 0.0
+
+    def test_empty_eval_raises(self, micro_dataset):
+        with pytest.raises(ValueError):
+            evaluate(_OracleScorer(), micro_dataset, [], num_candidates=10)
+
+    def test_num_instances(self, micro_dataset):
+        _, evaluation = partition(micro_dataset, n=8)
+        rep = evaluate(_OracleScorer(), micro_dataset, evaluation, num_candidates=10)
+        assert rep.num_instances == len(evaluation)
+
+
+class TestRunner:
+    def test_run_experiment(self, micro_dataset):
+        rep = run_experiment(
+            "POP",
+            micro_dataset,
+            ExperimentConfig(max_len=8, num_candidates=15, train=TrainConfig(epochs=1)),
+        )
+        assert 0 <= rep.hr10 <= 1
+
+    def test_run_rounds_averages(self, micro_dataset):
+        rep = run_rounds(
+            "POP",
+            micro_dataset,
+            ExperimentConfig(max_len=8, num_candidates=15, train=TrainConfig(epochs=1)),
+            rounds=2,
+        )
+        assert 0 <= rep.ndcg10 <= 1
+
+    def test_format_table(self, micro_dataset):
+        rep = run_experiment(
+            "POP", micro_dataset,
+            ExperimentConfig(max_len=8, num_candidates=10, train=TrainConfig(epochs=1)),
+        )
+        table = format_table({"micro": {"POP": rep}}, ["POP", "BPR"])
+        assert "POP" in table and "micro" in table
+
+
+class TestFlops:
+    def test_iaab_overhead_negligible(self):
+        """The Table VI claim: relative overhead well under 1%."""
+        for n, d in [(53, 256), (146, 256), (326, 256), (43, 256)]:
+            row = compare_sa_iaab(n, d, num_layers=4)
+            assert row["delta_flops"] == 4 * n * n
+            assert row["relative_overhead"] < 0.01
+
+    def test_breakdown_total(self):
+        b = attention_encoder_flops(10, 16, num_layers=2, interval_aware=True)
+        assert b.total == (
+            b.qkv_projection + b.attention_map + b.softmax
+            + b.value_aggregation + b.feed_forward + b.relation_addition
+        )
+        assert b.relation_addition == 2 * 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            attention_encoder_flops(0, 16)
+
+    def test_quadratic_in_n(self):
+        small = attention_encoder_flops(32, 64).attention_map
+        large = attention_encoder_flops(64, 64).attention_map
+        assert large == 4 * small
+
+
+class TestSpatialStats:
+    def test_histogram_shape(self, tiny_dataset):
+        hist = strong_spatial_correlation_histogram(
+            tiny_dataset, radius_km=10.0, num_positions=64, num_buckets=8
+        )
+        assert hist.counts.shape == (8,)
+        assert hist.counts.sum() > 0
+        assert len(hist.bucket_edges) == 9
+
+    def test_fractions_sum_to_one(self, tiny_dataset):
+        hist = strong_spatial_correlation_histogram(tiny_dataset, num_positions=64, num_buckets=4)
+        assert hist.fractions().sum() == pytest.approx(1.0)
+
+    def test_fig2_claim_mass_not_only_recent(self, tiny_dataset):
+        """Strong spatial correlations appear beyond the final bucket."""
+        hist = strong_spatial_correlation_histogram(tiny_dataset, num_positions=32, num_buckets=4)
+        assert tail_concentration(hist) < 1.0
+        assert hist.counts[:-1].sum() > 0
+
+    def test_bucket_divisibility(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            strong_spatial_correlation_histogram(tiny_dataset, num_positions=10, num_buckets=3)
+
+
+class TestHeatmaps:
+    @pytest.fixture(scope="class")
+    def study(self, micro_dataset):
+        cfg = STiSANConfig.small(max_len=10, poi_dim=8, geo_dim=8, num_blocks=2, dropout=0.0)
+        model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                       rng=np.random.default_rng(0))
+        model.eval()
+        _, evaluation = partition(micro_dataset, n=10)
+        e = evaluation[0]
+        return attention_study(model, e.src_pois, e.src_times,
+                               micro_dataset.poi_coords, e.target)
+
+    def test_attention_rows_normalized(self, study):
+        sums = study.attention.sum(axis=-1)
+        np.testing.assert_allclose(sums, np.ones_like(sums), atol=1e-4)
+
+    def test_shapes_aligned(self, study):
+        n = study.attention.shape[0]
+        assert study.time_gaps_days.shape == (n,)
+        assert study.geo_gaps_km.shape == (n,)
+
+    def test_successive_similarity_range(self, study):
+        sim = successive_attention_similarity(study.attention)
+        assert sim.shape == (study.attention.shape[0] - 1,)
+        assert (sim >= 0).all() and (sim <= 1).all()
+
+    def test_near_mass_bounds(self, study):
+        mass = near_poi_attention_mass(study.attention, study.geo_gaps_km, radius_km=1e6)
+        assert mass == pytest.approx(1.0, abs=1e-4)
+        none = near_poi_attention_mass(study.attention, study.geo_gaps_km, radius_km=0.0)
+        assert none == 0.0
+
+    def test_average_attention_validation(self):
+        with pytest.raises(ValueError):
+            average_attention([])

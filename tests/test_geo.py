@@ -1,0 +1,201 @@
+"""Tests for the geography substrate."""
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    EARTH_RADIUS_KM,
+    GridSpec,
+    PoiIndex,
+    QuadkeyVocab,
+    haversine,
+    latlon_to_quadkey,
+    latlon_to_unit_xyz,
+    pairwise_haversine,
+    quadkey_to_ngrams,
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine(43.0, 125.0, 43.0, 125.0) == pytest.approx(0.0)
+
+    def test_known_distance_equator_degree(self):
+        # One degree of longitude at the equator is ~111.19 km.
+        d = haversine(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111.19, rel=1e-3)
+
+    def test_symmetry(self):
+        a = haversine(43.1, 125.2, 44.5, 126.0)
+        b = haversine(44.5, 126.0, 43.1, 125.2)
+        assert a == pytest.approx(b)
+
+    def test_antipodal_does_not_nan(self):
+        d = haversine(0.0, 0.0, 0.0, 180.0)
+        assert np.isfinite(d)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_vectorized(self):
+        lat = np.array([0.0, 10.0])
+        out = haversine(lat, 0.0, lat, 1.0)
+        assert out.shape == (2,)
+        assert out[1] < out[0]  # longitude degrees shrink away from equator
+
+    def test_pairwise_matrix(self):
+        coords = np.array([[43.0, 125.0], [43.5, 125.5], [44.0, 126.0]])
+        m = pairwise_haversine(coords)
+        assert m.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(m), 0.0, atol=1e-9)
+        np.testing.assert_allclose(m, m.T, atol=1e-9)
+        # Triangle inequality.
+        assert m[0, 2] <= m[0, 1] + m[1, 2] + 1e-9
+
+    def test_pairwise_rectangular(self):
+        a = np.array([[43.0, 125.0]])
+        b = np.array([[43.0, 125.0], [44.0, 126.0]])
+        m = pairwise_haversine(a, b)
+        assert m.shape == (1, 2)
+
+    def test_pairwise_shape_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_haversine(np.zeros((3,)))
+
+
+class TestQuadkey:
+    def test_length_equals_level(self):
+        qk = latlon_to_quadkey(43.88, 125.35, level=12)
+        assert len(qk) == 12
+        assert set(qk) <= set("0123")
+
+    def test_nearby_points_share_prefix(self):
+        a = latlon_to_quadkey(43.8800, 125.3500, level=17)
+        b = latlon_to_quadkey(43.8801, 125.3501, level=17)
+        c = latlon_to_quadkey(-33.86, 151.21, level=17)  # Sydney
+        shared_ab = len([1 for x, y in zip(a, b) if x == y])
+        # Common prefix length via itertools-free scan.
+        prefix_ab = 0
+        for x, y in zip(a, b):
+            if x != y:
+                break
+            prefix_ab += 1
+        prefix_ac = 0
+        for x, y in zip(a, c):
+            if x != y:
+                break
+            prefix_ac += 1
+        assert prefix_ab > prefix_ac
+        assert prefix_ab >= 10
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            latlon_to_quadkey(0, 0, level=0)
+
+    def test_extreme_latitude_clamped(self):
+        qk = latlon_to_quadkey(89.9, 0.0, level=10)
+        assert len(qk) == 10
+
+    def test_ngrams(self):
+        assert quadkey_to_ngrams("012301", 3) == ["012", "123", "230", "301"]
+
+    def test_ngrams_short_input(self):
+        assert quadkey_to_ngrams("01", 6) == ["01"]
+
+    def test_vocab_encodes_consistently(self):
+        vocab = QuadkeyVocab(n=3)
+        ids1 = vocab.encode("0123012")
+        ids2 = vocab.encode("0123012")
+        assert ids1 == ids2
+        assert all(i >= 2 for i in ids1)
+
+    def test_vocab_frozen_maps_unknown_to_unk(self):
+        vocab = QuadkeyVocab(n=3)
+        vocab.encode("000000")
+        vocab.freeze()
+        ids = vocab.encode("333333")
+        assert set(ids) == {QuadkeyVocab.UNK}
+
+    def test_encode_batch_pads(self):
+        vocab = QuadkeyVocab(n=2)
+        out = vocab.encode_batch(["0123", "01"])
+        assert out.shape == (2, 3)
+        assert out[1, 1] == QuadkeyVocab.PAD
+
+
+class TestPoiIndex:
+    @pytest.fixture()
+    def index(self):
+        coords = np.array(
+            [[43.0, 125.0], [43.001, 125.001], [43.5, 125.5], [44.0, 126.0], [47.0, 130.0]]
+        )
+        return PoiIndex(coords, offset=1)
+
+    def test_query_orders_by_distance(self, index):
+        ids, dist = index.query(1, 4)
+        assert ids[0] == 2  # the 0.001-degree neighbour
+        assert (np.diff(dist) >= -1e-9).all()
+
+    def test_query_excludes_self(self, index):
+        ids, _ = index.query(3, 4)
+        assert 3 not in ids
+
+    def test_query_out_of_range(self, index):
+        with pytest.raises(IndexError):
+            index.query(0, 2)
+        with pytest.raises(IndexError):
+            index.query(6, 2)
+
+    def test_distances_match_haversine(self, index):
+        ids, dist = index.query(1, 2)
+        expected = haversine(43.0, 125.0, 43.001, 125.001)
+        assert dist[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_nearest_excluding(self, index):
+        ids = index.nearest_excluding(1, 2, exclude={2})
+        assert 2 not in ids
+        assert len(ids) == 2
+
+    def test_nearest_excluding_exhausts(self, index):
+        ids = index.nearest_excluding(1, 10, exclude={2, 3})
+        assert set(ids) == {4, 5}
+
+    def test_unit_xyz_on_sphere(self):
+        coords = np.array([[43.0, 125.0], [-80.0, 10.0]])
+        xyz = latlon_to_unit_xyz(coords)
+        np.testing.assert_allclose(np.linalg.norm(xyz, axis=1), 1.0, atol=1e-12)
+
+
+class TestGridSpec:
+    @pytest.fixture()
+    def grid(self):
+        return GridSpec(43.0, 44.0, 125.0, 126.0, rows=4, cols=5)
+
+    def test_cell_count(self, grid):
+        assert grid.num_cells == 20
+
+    def test_cell_of_corners(self, grid):
+        assert grid.cell_of(43.0, 125.0) == 0
+        assert grid.cell_of(44.0, 126.0) == 19
+
+    def test_cell_center_roundtrip(self, grid):
+        for cell in range(grid.num_cells):
+            lat, lon = grid.cell_center(cell)
+            assert grid.cell_of(lat, lon) == cell
+
+    def test_out_of_box_clamped(self, grid):
+        assert grid.cell_of(99.0, 200.0) == 19
+
+    def test_neighbors_interior(self, grid):
+        n = grid.neighbors_of(grid.cell_of(43.5, 125.5), radius=1)
+        assert len(n) == 9
+
+    def test_neighbors_corner(self, grid):
+        n = grid.neighbors_of(0, radius=1)
+        assert len(n) == 4
+
+    def test_degenerate_box_raises(self):
+        with pytest.raises(ValueError):
+            GridSpec(44.0, 43.0, 125.0, 126.0, rows=2, cols=2)
+
+    def test_cell_center_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_center(20)

@@ -1,0 +1,61 @@
+"""Tests for the hyper-parameter grid search utility."""
+
+import numpy as np
+import pytest
+
+from repro.core import STiSANConfig, TrainConfig
+from repro.eval import ExperimentConfig, grid_search
+from repro.eval.search import GridSearchResult, GridCell
+from repro.eval.metrics import report_from_ranks
+
+
+def _base(max_len=8, epochs=1):
+    return ExperimentConfig(
+        max_len=max_len,
+        num_candidates=15,
+        train=TrainConfig(epochs=epochs, batch_size=8, num_negatives=3, seed=0),
+        stisan_config=STiSANConfig.small(max_len=max_len, poi_dim=8, geo_dim=8, num_blocks=1),
+    )
+
+
+class TestGridSearch:
+    def test_cartesian_cell_count(self, micro_dataset):
+        result = grid_search(
+            "POP", micro_dataset,
+            grid={"epochs": [1], "seed": [0, 1]},
+            base=_base(),
+        )
+        assert len(result.cells) == 2
+
+    def test_train_and_model_overrides_routed(self, micro_dataset):
+        result = grid_search(
+            "STiSAN", micro_dataset,
+            grid={"temperature": [1.0, 100.0], "dropout": [0.0]},
+            base=_base(),
+        )
+        assert len(result.cells) == 2
+        for cell in result.cells:
+            assert "temperature" in cell.overrides
+            assert cell.overrides["dropout"] == 0.0
+            assert 0 <= cell.report.ndcg10 <= 1
+
+    def test_best_selection(self):
+        result = GridSearchResult(metric="NDCG@10")
+        result.cells.append(GridCell({"a": 1}, report_from_ranks([20])))
+        result.cells.append(GridCell({"a": 2}, report_from_ranks([1])))
+        assert result.best.overrides == {"a": 2}
+
+    def test_as_table_sorted(self):
+        result = GridSearchResult(metric="NDCG@10")
+        result.cells.append(GridCell({"a": 1}, report_from_ranks([20])))
+        result.cells.append(GridCell({"a": 2}, report_from_ranks([1])))
+        lines = result.as_table().splitlines()
+        assert "a=2" in lines[0]
+
+    def test_empty_grid_rejected(self, micro_dataset):
+        with pytest.raises(ValueError):
+            grid_search("POP", micro_dataset, grid={})
+
+    def test_empty_result_best_raises(self):
+        with pytest.raises(ValueError):
+            GridSearchResult().best

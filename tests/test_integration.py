@@ -1,0 +1,134 @@
+"""Cross-module integration tests: the whole pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EarlyStopping,
+    RecommendationService,
+    STiSAN,
+    STiSANConfig,
+    TrainConfig,
+    train_stisan,
+    validation_split,
+)
+from repro.data import partition, save_dataset, load_dataset_snapshot
+from repro.eval import evaluate, measure_scoring_latency
+from repro.eval.protocol import evaluate as evaluate_protocol
+from repro.nn import load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def trained(micro_dataset):
+    cfg = STiSANConfig.small(max_len=10, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.1)
+    train, evaluation = partition(micro_dataset, n=10)
+    model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                   rng=np.random.default_rng(0))
+    train_stisan(
+        model, micro_dataset, train,
+        TrainConfig(epochs=6, batch_size=8, learning_rate=3e-3,
+                    num_negatives=4, temperature=20.0, seed=0),
+    )
+    return model, cfg, train, evaluation
+
+
+class TestTrainCheckpointServe:
+    def test_checkpoint_then_serve(self, trained, micro_dataset, tmp_path):
+        model, cfg, _, evaluation = trained
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, meta={"max_len": cfg.max_len})
+        fresh = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                       rng=np.random.default_rng(42))
+        meta = load_checkpoint(fresh, path)
+        fresh.eval()
+        service = RecommendationService(fresh, micro_dataset,
+                                        max_len=meta["max_len"], num_candidates=15)
+        recs = service.recommend(micro_dataset.users()[0], k=5)
+        assert len(recs) >= 1
+        # The restored model serves identical scores to the original.
+        e = evaluation[0]
+        cands = np.arange(1, 8)[None, :]
+        model.eval()
+        np.testing.assert_allclose(
+            model.score_candidates(e.src_pois[None, :], e.src_times[None, :], cands),
+            fresh.score_candidates(e.src_pois[None, :], e.src_times[None, :], cands),
+            atol=1e-6,
+        )
+
+    def test_dataset_snapshot_then_retrain(self, micro_dataset, tmp_path):
+        """Snapshot → reload → partition must give identical splits."""
+        path = tmp_path / "ds.npz"
+        save_dataset(micro_dataset, path)
+        reloaded = load_dataset_snapshot(path)
+        t1, e1 = partition(micro_dataset, n=8)
+        t2, e2 = partition(reloaded, n=8)
+        assert len(t1) == len(t2) and len(e1) == len(e2)
+        np.testing.assert_array_equal(t1[0].src_pois, t2[0].src_pois)
+
+
+class TestEarlyStoppingLoop:
+    def test_early_stopped_training_with_validation(self, micro_dataset):
+        cfg = STiSANConfig.small(max_len=10, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0)
+        train, _ = partition(micro_dataset, n=10)
+        kept, val = validation_split(train, fraction=0.2, rng=np.random.default_rng(0))
+        assert val
+        model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                       rng=np.random.default_rng(0))
+        stopper = EarlyStopping(patience=2)
+        stopped_at = None
+        for epoch in range(6):
+            train_stisan(
+                model, micro_dataset, kept,
+                TrainConfig(epochs=1, batch_size=8, learning_rate=3e-3,
+                            num_negatives=4, seed=epoch),
+            )
+            report = evaluate_protocol(model, micro_dataset, val, num_candidates=15)
+            if stopper.update(epoch, report.ndcg10, model=model):
+                stopped_at = epoch
+                break
+        assert stopper.best_epoch >= 0
+        assert stopper.restore_best(model)
+        if stopped_at is not None:
+            assert stopped_at >= stopper.best_epoch
+
+    def test_validation_metrics_sane(self, trained, micro_dataset):
+        model, _, _, evaluation = trained
+        report = evaluate(model, micro_dataset, evaluation, num_candidates=15)
+        assert 0 <= report.ndcg10 <= 1
+        assert report.hr5 <= report.hr10
+
+
+class TestLatency:
+    def test_latency_report(self, trained, micro_dataset):
+        model, _, _, evaluation = trained
+        slate = np.arange(1, min(16, micro_dataset.num_pois + 1))
+        report = measure_scoring_latency(
+            model, evaluation, slate, batch_size=4, num_calls=3, warmup=1
+        )
+        assert report.mean_s > 0
+        assert report.p50_s <= report.p95_s + 1e-9
+        assert report.queries_per_second > 0
+        assert "ms" in str(report)
+
+    def test_latency_validation(self, trained):
+        model, _, _, _ = trained
+        with pytest.raises(ValueError):
+            measure_scoring_latency(model, [], np.arange(1, 5))
+
+
+class TestReproducibility:
+    def test_same_seed_same_model(self, micro_dataset):
+        """Training twice from the same seed gives identical metrics."""
+        cfg = STiSANConfig.small(max_len=8, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.1)
+        train, evaluation = partition(micro_dataset, n=8)
+        reports = []
+        for _ in range(2):
+            model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                           rng=np.random.default_rng(7))
+            train_stisan(
+                model, micro_dataset, train,
+                TrainConfig(epochs=2, batch_size=8, num_negatives=3, seed=7),
+            )
+            reports.append(evaluate(model, micro_dataset, evaluation, num_candidates=15))
+        assert reports[0].ndcg10 == pytest.approx(reports[1].ndcg10, abs=1e-9)
+        assert reports[0].hr5 == pytest.approx(reports[1].hr5, abs=1e-9)

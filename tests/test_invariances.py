@@ -1,0 +1,116 @@
+"""Structural invariance tests for the attention machinery.
+
+These encode mathematical properties of the architecture that must hold
+for *any* parameter values — stronger than example-based tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import STiSAN, STiSANConfig
+from repro.core.taad import TargetAwareAttentionDecoder, preference_scores
+from repro.data import partition
+from repro.nn.attention import SelfAttention
+from repro.nn.tensor import Tensor
+
+
+class TestAttentionEquivariance:
+    def test_unmasked_self_attention_permutation_equivariant(self, rng):
+        """Without masks or positions, permuting the input rows permutes
+        the output rows identically (the paper's motivation for needing
+        positional encodings at all)."""
+        attn = SelfAttention(8, rng=rng)
+        attn.eval()
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        perm = np.random.default_rng(1).permutation(6)
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm, :])).data
+        np.testing.assert_allclose(out[:, perm, :], out_perm, atol=1e-5)
+
+    def test_position_encoding_breaks_equivariance(self, micro_dataset):
+        """With TAPE added, permuting check-ins changes the outputs —
+        order now matters."""
+        cfg = STiSANConfig.small(max_len=6, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0)
+        model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                       rng=np.random.default_rng(0))
+        model.eval()
+        src = np.array([[1, 2, 3, 4, 5, 6]])
+        times = 1e9 + np.arange(6)[None, :] * 3600.0
+        rev = src[:, ::-1].copy()
+        out1 = model.encode(src, times).data
+        out2 = model.encode(rev, times).data
+        assert not np.allclose(out1[:, ::-1, :], out2, atol=1e-4)
+
+
+class TestTAADInvariances:
+    def test_candidate_order_equivariance(self, rng):
+        """Scores follow the candidates when the slate is permuted."""
+        dec = TargetAwareAttentionDecoder(8)
+        enc = Tensor(rng.normal(size=(1, 5, 8)).astype(np.float32))
+        cand = rng.normal(size=(1, 7, 8)).astype(np.float32)
+        perm = np.random.default_rng(2).permutation(7)
+        s1 = preference_scores(dec(Tensor(cand), enc), Tensor(cand)).data
+        s2 = preference_scores(
+            dec(Tensor(cand[:, perm, :]), enc), Tensor(cand[:, perm, :])
+        ).data
+        np.testing.assert_allclose(s1[:, perm], s2, atol=1e-5)
+
+    def test_candidate_independence(self, rng):
+        """Each candidate's score is independent of the other candidates
+        in the slate (TAAD attends the encoder, not the slate)."""
+        dec = TargetAwareAttentionDecoder(8)
+        enc = Tensor(rng.normal(size=(1, 5, 8)).astype(np.float32))
+        cand = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        full = preference_scores(dec(Tensor(cand), enc), Tensor(cand)).data
+        solo = preference_scores(
+            dec(Tensor(cand[:, :1, :]), enc), Tensor(cand[:, :1, :])
+        ).data
+        np.testing.assert_allclose(full[:, 0], solo[:, 0], atol=1e-5)
+
+
+class TestModelScoreInvariances:
+    @pytest.fixture(scope="class")
+    def model(self, micro_dataset):
+        cfg = STiSANConfig.small(max_len=8, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0)
+        m = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                   rng=np.random.default_rng(0))
+        m.eval()
+        return m
+
+    def test_slate_permutation(self, model, micro_dataset):
+        _, evaluation = partition(micro_dataset, n=8)
+        e = evaluation[0]
+        cands = np.arange(1, 9)[None, :]
+        perm = np.random.default_rng(3).permutation(8)
+        s1 = model.score_candidates(e.src_pois[None, :], e.src_times[None, :], cands)
+        s2 = model.score_candidates(
+            e.src_pois[None, :], e.src_times[None, :], cands[:, perm]
+        )
+        np.testing.assert_allclose(s1[0, perm], s2[0], atol=1e-5)
+
+    def test_batch_row_independence(self, model, micro_dataset):
+        """A row's scores do not depend on other rows in the batch."""
+        _, evaluation = partition(micro_dataset, n=8)
+        a, b = evaluation[0], evaluation[1]
+        cands = np.arange(1, 6)
+        batch_scores = model.score_candidates(
+            np.stack([a.src_pois, b.src_pois]),
+            np.stack([a.src_times, b.src_times]),
+            np.stack([cands, cands]),
+        )
+        solo_scores = model.score_candidates(
+            a.src_pois[None, :], a.src_times[None, :], cands[None, :]
+        )
+        np.testing.assert_allclose(batch_scores[0], solo_scores[0], atol=1e-5)
+
+    def test_global_time_shift_invariance(self, model, micro_dataset):
+        """TAPE normalizes by the mean interval and the relation matrix
+        uses differences, so shifting all timestamps by a constant must
+        not change scores."""
+        _, evaluation = partition(micro_dataset, n=8)
+        e = evaluation[0]
+        cands = np.arange(1, 6)[None, :]
+        s1 = model.score_candidates(e.src_pois[None, :], e.src_times[None, :], cands)
+        shifted = e.src_times[None, :] + 86400.0 * 365
+        s2 = model.score_candidates(e.src_pois[None, :], shifted, cands)
+        np.testing.assert_allclose(s1, s2, atol=1e-4)

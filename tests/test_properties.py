@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the core data structures and
+numerical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.relation import RelationConfig, build_relation_matrix, scaled_relation_bias
+from repro.core.tape import sinusoid_table, time_aware_positions
+from repro.data.sequences import pad_head
+from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, target_ranks
+from repro.geo import haversine, latlon_to_quadkey
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, unbroadcast
+
+finite_floats = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(shape):
+    return arrays(np.float32, shape, elements=st.floats(-5, 5, width=32))
+
+
+class TestAutogradProperties:
+    @given(small_arrays((3, 4)), small_arrays((3, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_addition_gradient_is_ones(self, a, b):
+        x = Tensor(a, requires_grad=True)
+        y = Tensor(b, requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+        np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+    @given(small_arrays((2, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_simplex(self, a):
+        s = F.softmax(Tensor(a), axis=-1).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(-1), np.ones(2), atol=1e-5)
+
+    @given(small_arrays((2, 5)), st.floats(0.1, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_shift_invariance(self, a, shift):
+        s1 = F.softmax(Tensor(a), axis=-1).data
+        s2 = F.softmax(Tensor(a + np.float32(shift)), axis=-1).data
+        np.testing.assert_allclose(s1, s2, atol=1e-5)
+
+    @given(small_arrays((4, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_sigmoid_complement(self, a):
+        s_pos = Tensor(a).sigmoid().data
+        s_neg = Tensor(-a).sigmoid().data
+        np.testing.assert_allclose(s_pos + s_neg, np.ones_like(a), atol=1e-5)
+
+    @given(small_arrays((3, 1, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, a):
+        big = np.broadcast_to(a, (3, 5, 4)).astype(np.float32)
+        back = unbroadcast(big, a.shape)
+        np.testing.assert_allclose(back, a * 5, atol=1e-4)
+
+
+class TestGeoProperties:
+    coords = st.tuples(
+        st.floats(-80, 80, allow_nan=False),
+        st.floats(-179, 179, allow_nan=False),
+    )
+
+    @given(coords, coords)
+    @settings(max_examples=50, deadline=None)
+    def test_haversine_symmetric_nonnegative(self, a, b):
+        d1 = haversine(a[0], a[1], b[0], b[1])
+        d2 = haversine(b[0], b[1], a[0], a[1])
+        assert d1 >= 0
+        np.testing.assert_allclose(d1, d2, atol=1e-9)
+
+    @given(coords)
+    @settings(max_examples=50, deadline=None)
+    def test_haversine_identity(self, a):
+        assert haversine(a[0], a[1], a[0], a[1]) < 1e-6
+
+    @given(coords, coords, coords)
+    @settings(max_examples=30, deadline=None)
+    def test_haversine_triangle_inequality(self, a, b, c):
+        ab = haversine(a[0], a[1], b[0], b[1])
+        bc = haversine(b[0], b[1], c[0], c[1])
+        ac = haversine(a[0], a[1], c[0], c[1])
+        assert ac <= ab + bc + 1e-6
+
+    @given(coords, st.integers(3, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_quadkey_valid_alphabet(self, a, level):
+        qk = latlon_to_quadkey(a[0], a[1], level=level)
+        assert len(qk) == level
+        assert set(qk) <= set("0123")
+
+    @given(coords, st.integers(5, 18))
+    @settings(max_examples=30, deadline=None)
+    def test_quadkey_prefix_nesting(self, a, level):
+        """A quadkey at level L-1 is the prefix of the level-L key."""
+        deep = latlon_to_quadkey(a[0], a[1], level=level)
+        shallow = latlon_to_quadkey(a[0], a[1], level=level - 1)
+        assert deep.startswith(shallow)
+
+
+class TestTapeProperties:
+    @given(
+        arrays(np.float64, st.integers(2, 30),
+               elements=st.floats(0, 1e6, allow_nan=False)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_positions_monotone(self, raw):
+        times = np.sort(raw)
+        pos = time_aware_positions(times)
+        assert pos[0] == 1.0
+        assert (np.diff(pos) >= 1.0 - 1e-6).all()
+        assert np.isfinite(pos).all()
+
+    @given(
+        arrays(np.float64, 8, elements=st.floats(0, 1e6, allow_nan=False)),
+        st.floats(1.1, 100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_positions_time_scale_invariant(self, raw, scale):
+        """Scaling all timestamps leaves TAPE positions unchanged: the
+        mean-interval normalization removes the unit."""
+        times = np.sort(raw)
+        p1 = time_aware_positions(times)
+        p2 = time_aware_positions(times * scale)
+        np.testing.assert_allclose(p1, p2, rtol=1e-6, atol=1e-6)
+
+    @given(st.integers(2, 64).map(lambda x: x * 2))
+    @settings(max_examples=20, deadline=None)
+    def test_sinusoid_bounded(self, dim):
+        pos = np.linspace(0, 500, 40)
+        out = sinusoid_table(pos, dim)
+        assert (np.abs(out) <= 1 + 1e-6).all()
+
+
+class TestRelationProperties:
+    @given(st.integers(2, 10), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_relation_nonnegative_and_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0, 1e6, size=n))
+        coords = np.stack(
+            [rng.uniform(43, 44, size=n), rng.uniform(125, 126, size=n)], axis=1
+        )
+        cfg = RelationConfig(k_t_days=10, k_d_km=15)
+        r = build_relation_matrix(times, coords, cfg)
+        assert (r >= 0).all()
+        assert r.max() <= cfg.k_t_days + cfg.k_d_km + 1e-4
+
+    @given(st.integers(2, 8), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_bias_is_distribution_per_row(self, n, seed):
+        rng = np.random.default_rng(seed)
+        r = np.abs(rng.normal(size=(n, n))).astype(np.float32)
+        mask = np.triu(np.ones((n, n), dtype=bool), k=1)
+        bias = scaled_relation_bias(r, mask)
+        np.testing.assert_allclose(bias.sum(-1), np.ones(n), atol=1e-5)
+        assert (bias >= 0).all()
+
+
+class TestMetricProperties:
+    ranks = arrays(np.int64, st.integers(1, 50), elements=st.integers(1, 101))
+
+    @given(ranks, st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_metrics_in_unit_interval(self, r, k):
+        assert 0 <= hit_rate_at_k(r, k) <= 1
+        assert 0 <= ndcg_at_k(r, k) <= 1
+
+    @given(ranks)
+    @settings(max_examples=50, deadline=None)
+    def test_hr_monotone_in_k(self, r):
+        values = [hit_rate_at_k(r, k) for k in (1, 5, 10, 20)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(ranks)
+    @settings(max_examples=50, deadline=None)
+    def test_ndcg_le_hr(self, r):
+        for k in (5, 10):
+            assert ndcg_at_k(r, k) <= hit_rate_at_k(r, k) + 1e-12
+
+    @given(st.integers(2, 30), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_target_ranks_within_bounds(self, c, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=(4, c))
+        r = target_ranks(scores)
+        assert (r >= 1).all() and (r <= c).all()
+
+
+class TestPadHeadProperties:
+    @given(
+        arrays(np.int64, st.integers(1, 10), elements=st.integers(1, 100)),
+        st.integers(10, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pad_head_length_and_suffix(self, values, n):
+        out = pad_head(values, n, 0)
+        assert len(out) == n
+        np.testing.assert_array_equal(out[n - len(values):], values)
+        assert (out[: n - len(values)] == 0).all()

@@ -1,0 +1,134 @@
+"""Tests for the Time Aware Position Encoder (Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tape import (
+    TimeAwarePositionEncoder,
+    VanillaPositionEncoder,
+    sinusoid_table,
+    time_aware_positions,
+)
+from repro.data.types import SECONDS_PER_HOUR
+
+
+class TestTimeAwarePositions:
+    def test_paper_figure1_example(self):
+        """User 1 of Fig. 1: timestamps 7:00, 7:30, 11:30, 14:30, 18:30
+        yield positions 1 -> 2.2 -> 4.3 -> 6.4 -> 9 (paper Section III-C)."""
+        hours = np.array([7.0, 7.5, 11.5, 14.5, 18.5])
+        times = hours * SECONDS_PER_HOUR
+        pos = time_aware_positions(times)
+        np.testing.assert_allclose(
+            pos, [1.0, 2.1739, 4.5652, 6.6086, 9.0], atol=0.3
+        )
+        # The final position is exactly n + (n-1): every interval sums to
+        # (n-1)·mean so Σ Δt/mean = n-1, plus the n-1 "+1" terms, plus 1.
+        assert pos[-1] == pytest.approx(9.0, abs=1e-9)
+
+    def test_uniform_intervals_recover_integer_positions(self):
+        times = np.arange(6, dtype=np.float64) * 3600.0
+        pos = time_aware_positions(times)
+        np.testing.assert_allclose(pos, [1, 3, 5, 7, 9, 11], atol=1e-9)
+
+    def test_positions_strictly_increasing(self, rng):
+        times = np.sort(rng.uniform(0, 1e6, size=20))
+        pos = time_aware_positions(times)
+        assert (np.diff(pos) >= 1.0 - 1e-9).all()  # the +1 separator floor
+
+    def test_larger_gap_larger_spacing(self):
+        times = np.array([0.0, 100.0, 10_000.0])
+        pos = time_aware_positions(times)
+        assert (pos[2] - pos[1]) > (pos[1] - pos[0])
+
+    def test_batched(self, rng):
+        times = np.sort(rng.uniform(0, 1e6, size=(4, 10)), axis=-1)
+        pos = time_aware_positions(times)
+        assert pos.shape == (4, 10)
+        assert (pos[:, 0] == 1.0).all()
+
+    def test_padding_ignored_in_normalization(self):
+        """Padded head steps must not distort the interval mean."""
+        real = np.array([100.0, 200.0, 400.0])
+        pad_times = np.concatenate([[real[0]] * 3, real])
+        pad_mask = np.array([True] * 3 + [False] * 3)
+        pos_pad = time_aware_positions(pad_times, pad_mask=pad_mask)
+        pos_ref = time_aware_positions(real)
+        # Relative spacing of the real tail must match the unpadded case.
+        np.testing.assert_allclose(np.diff(pos_pad[3:]), np.diff(pos_ref), atol=1e-9)
+
+    def test_constant_times_do_not_divide_by_zero(self):
+        times = np.full(5, 1000.0)
+        pos = time_aware_positions(times)
+        assert np.isfinite(pos).all()
+        np.testing.assert_allclose(np.diff(pos), 1.0)
+
+
+class TestSinusoidTable:
+    def test_shape(self):
+        out = sinusoid_table(np.arange(5, dtype=float), 8)
+        assert out.shape == (5, 8)
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            sinusoid_table(np.arange(3, dtype=float), 7)
+
+    def test_values_bounded(self, rng):
+        out = sinusoid_table(rng.uniform(0, 1000, size=20), 16)
+        assert (np.abs(out) <= 1.0 + 1e-6).all()
+
+    def test_matches_transformer_formula(self):
+        pos = np.array([3.0])
+        d = 8
+        out = sinusoid_table(pos, d)
+        div = np.exp(np.arange(0, d, 2) * -(np.log(10000.0) / d))
+        np.testing.assert_allclose(out[0, 0::2], np.sin(3.0 * div), atol=1e-6)
+        np.testing.assert_allclose(out[0, 1::2], np.cos(3.0 * div), atol=1e-6)
+
+    def test_nearby_positions_similar(self):
+        a = sinusoid_table(np.array([5.0]), 32)
+        b = sinusoid_table(np.array([5.1]), 32)
+        c = sinusoid_table(np.array([50.0]), 32)
+        assert np.linalg.norm(a - b) < np.linalg.norm(a - c)
+
+
+class TestEncoders:
+    def test_tape_output_shape(self, rng):
+        enc = TimeAwarePositionEncoder(16)
+        times = np.sort(rng.uniform(0, 1e5, size=(2, 7)), axis=-1)
+        out = enc(times)
+        assert out.shape == (2, 7, 16)
+        assert out.dtype == np.float32
+
+    def test_tape_zeroes_padding(self, rng):
+        enc = TimeAwarePositionEncoder(8)
+        times = np.sort(rng.uniform(0, 1e5, size=(1, 5)), axis=-1)
+        pad = np.array([[True, True, False, False, False]])
+        out = enc(times, pad_mask=pad)
+        np.testing.assert_allclose(out[0, :2], 0.0)
+        assert np.abs(out[0, 2:]).sum() > 0
+
+    def test_tape_distinguishes_interval_patterns(self):
+        """Same POIs, different gaps -> different encodings (the paper's
+        Fig. 1 motivation)."""
+        enc = TimeAwarePositionEncoder(32)
+        t1 = np.array([0.0, 1800.0, 16200.0, 27000.0, 41400.0])  # user 1
+        t2 = np.array([0.0, 5400.0, 9000.0, 14400.0, 27000.0])   # user 2
+        assert not np.allclose(enc(t1), enc(t2), atol=1e-3)
+
+    def test_vanilla_pe_time_invariant(self, rng):
+        enc = VanillaPositionEncoder(16)
+        t1 = np.sort(rng.uniform(0, 1e5, size=6))
+        t2 = np.sort(rng.uniform(0, 1e5, size=6))
+        np.testing.assert_array_equal(enc(t1), enc(t2))
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            TimeAwarePositionEncoder(7)
+        with pytest.raises(ValueError):
+            VanillaPositionEncoder(9)
+
+    def test_tape_no_parameters(self):
+        """The lightweight claim: TAPE is a pure function."""
+        enc = TimeAwarePositionEncoder(16)
+        assert not hasattr(enc, "parameters") or not list(enc.parameters())

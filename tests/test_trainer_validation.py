@@ -1,0 +1,64 @@
+"""Tests for the validation/early-stopping path of the main trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import STiSAN, STiSANConfig, TrainConfig, train_stisan, validation_split
+from repro.data import partition
+
+
+@pytest.fixture()
+def setup(micro_dataset):
+    cfg = STiSANConfig.small(max_len=8, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0)
+    train, _ = partition(micro_dataset, n=8)
+    kept, val = validation_split(train, fraction=0.25, rng=np.random.default_rng(0))
+    model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                   rng=np.random.default_rng(0))
+    return model, kept, val
+
+
+class TestTrainerValidation:
+    def test_validation_metrics_recorded(self, setup, micro_dataset):
+        model, kept, val = setup
+        result = train_stisan(
+            model, micro_dataset, kept,
+            TrainConfig(epochs=3, batch_size=8, num_negatives=3, seed=0),
+            validation=val, patience=5, num_candidates=15,
+        )
+        assert len(result.validation_metrics) == len(result.epoch_losses)
+        assert all(0 <= v <= 1 for v in result.validation_metrics)
+        assert result.best_epoch >= 0
+
+    def test_early_stop_triggers_with_tiny_patience(self, setup, micro_dataset):
+        model, kept, val = setup
+        result = train_stisan(
+            model, micro_dataset, kept,
+            TrainConfig(epochs=12, batch_size=8, num_negatives=3, seed=0),
+            validation=val, patience=1, num_candidates=15,
+        )
+        # With patience 1 on a noisy tiny set, training almost surely
+        # halts before the full budget; if not, all 12 epochs recorded.
+        assert result.stopped_early or len(result.epoch_losses) == 12
+
+    def test_best_snapshot_restored(self, setup, micro_dataset):
+        from repro.eval.protocol import evaluate
+
+        model, kept, val = setup
+        result = train_stisan(
+            model, micro_dataset, kept,
+            TrainConfig(epochs=6, batch_size=8, num_negatives=3, seed=0),
+            validation=val, patience=2, num_candidates=15,
+        )
+        # The restored model's validation metric equals the recorded best.
+        report = evaluate(model, micro_dataset, val, num_candidates=15)
+        assert report.ndcg10 == pytest.approx(max(result.validation_metrics), abs=1e-6)
+
+    def test_no_validation_keeps_legacy_behaviour(self, setup, micro_dataset):
+        model, kept, _ = setup
+        result = train_stisan(
+            model, micro_dataset, kept,
+            TrainConfig(epochs=2, batch_size=8, num_negatives=3, seed=0),
+        )
+        assert result.validation_metrics == []
+        assert not result.stopped_early
+        assert len(result.epoch_losses) == 2

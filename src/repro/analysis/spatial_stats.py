@@ -11,7 +11,6 @@ distant-in-time positions loses signal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

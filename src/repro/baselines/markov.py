@@ -16,7 +16,7 @@ from scipy import sparse
 
 from ..core.config import TrainConfig
 from ..data.sequences import SequenceExample
-from ..data.types import PAD_POI, CheckInDataset
+from ..data.types import CheckInDataset
 from .base import SequentialRecommender, last_real_positions, register
 from .bpr import training_transitions
 

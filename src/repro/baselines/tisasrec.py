@@ -17,7 +17,7 @@ learned parameters.  See DESIGN.md §2.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -7,6 +7,7 @@ stats      print Table II-style statistics (+ mobility summary)
 train      train a model and save a checkpoint
 evaluate   evaluate a checkpoint with the paper's protocol
 compare    mini Table III over several models on one dataset
+check      run the repo-specific static lint pass (repro.lint)
 
 Examples
 --------
@@ -15,6 +16,7 @@ python -m repro stats --data data.npz
 python -m repro train --data data.npz --model STiSAN --epochs 10 --out model.npz
 python -m repro evaluate --data data.npz --model STiSAN --checkpoint model.npz
 python -m repro compare --data data.npz --models POP SASRec STiSAN
+python -m repro check src
 """
 
 from __future__ import annotations
@@ -23,8 +25,6 @@ import argparse
 import sys
 import time
 from pathlib import Path
-
-import numpy as np
 
 from .analysis.trajectories import dataset_mobility_summary
 from .baselines import TABLE3_MODELS, make_recommender
@@ -156,6 +156,17 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from .lint import main as lint_main
+
+    argv = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.quiet:
+        argv.append("--quiet")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="STiSAN reproduction toolkit"
@@ -202,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--models", nargs="+", default=["POP", "SASRec", "STiSAN"])
     p.add_argument("--candidates", type=int, default=100)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("check", help="run the repo-specific static lint pass")
+    p.add_argument("paths", nargs="*", default=["src"])
+    p.add_argument("--list-rules", action="store_true")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_check)
     return parser
 
 

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..data.negatives import EvalCandidateRetriever
 from ..data.sequences import pad_head
 from ..data.types import PAD_POI, CheckInDataset
 from ..geo.neighbors import PoiIndex

@@ -9,7 +9,7 @@ the statistical machinery to decide whether a Table III delta is real.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Iterable, Optional
 
 import numpy as np
 

@@ -10,8 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from ..baselines.factory import make_recommender
 from ..core.config import STiSANConfig, TrainConfig
 from ..data.negatives import EvalCandidateRetriever

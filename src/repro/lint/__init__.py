@@ -1,0 +1,31 @@
+"""``repro.lint`` — repo-specific static analysis for the autograd substrate.
+
+The reproduction stands on a hand-written numpy autograd engine; a
+single silently-wrong backward or a stray float64 corrupts every
+Table-3/4 number downstream.  This package mechanically enforces the
+engine's contracts with an AST-based rules engine (see
+:mod:`repro.lint.rules` for the protocol and the general rules,
+:mod:`repro.lint.opcheck` for the op-inventory rules) and a small CLI
+(``python -m repro.lint`` / ``repro check``).
+
+The runtime counterpart — NaN/Inf detection the moment a value is
+produced — lives in :mod:`repro.nn.anomaly`.
+"""
+
+from .engine import lint_paths, main
+from .findings import Finding, Suppression, SuppressionIndex
+from .opcheck import op_inventory
+from .rules import REGISTRY, ModuleInfo, Rule, register
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "SuppressionIndex",
+    "ModuleInfo",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "lint_paths",
+    "op_inventory",
+    "main",
+]

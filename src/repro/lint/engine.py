@@ -1,0 +1,133 @@
+"""File discovery, rule dispatch, and the ``python -m repro.lint`` CLI.
+
+Usage
+-----
+    python -m repro.lint [paths...]          # default: src
+    python -m repro.lint --list-rules
+    repro check [paths...]                   # same engine via the main CLI
+
+Exit status is 0 when no findings survive suppression filtering, 1
+otherwise — tier-1 tests and CI both gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from . import opcheck  # noqa: F401  (imported for its rule registrations)
+from .findings import Finding
+from .rules import REGISTRY, ModuleInfo
+
+GRADCHECK_RELPATH = Path("tests") / "test_nn_gradcheck.py"
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def find_gradcheck_file(paths: Sequence[Path]) -> Optional[Path]:
+    """Locate ``tests/test_nn_gradcheck.py`` by walking up from the lint
+    targets (so the gate works from any working directory)."""
+    seen = set()
+    for start in paths:
+        start = start.resolve()
+        for candidate_root in [start, *start.parents]:
+            if candidate_root in seen:
+                continue
+            seen.add(candidate_root)
+            candidate = candidate_root / GRADCHECK_RELPATH
+            if candidate.is_file():
+                return candidate
+    return None
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    gradcheck_path: Optional[Path] = None,
+) -> List[Finding]:
+    """Run every registered rule over ``paths`` and return live findings.
+
+    Suppressed findings are dropped — except for ``REPRO-SUP`` itself,
+    which cannot be silenced (otherwise the justification requirement
+    could suppress its own enforcement).
+    """
+    if gradcheck_path is None:
+        gradcheck_path = find_gradcheck_file(paths)
+    covered = None
+    if gradcheck_path is not None and gradcheck_path.is_file():
+        covered = frozenset(opcheck.gradcheck_names(gradcheck_path.read_text(encoding="utf-8")))
+
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            display = str(file_path.relative_to(Path.cwd()))
+        except ValueError:
+            display = str(file_path)
+        try:
+            module = ModuleInfo.parse(file_path, display=display)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(display, exc.lineno or 1, "REPRO-SYNTAX", f"syntax error: {exc.msg}")
+            )
+            continue
+        module.gradcheck_names = covered
+        for rule in REGISTRY:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if finding.rule_id != "REPRO-SUP" and module.suppressions.is_suppressed(finding):
+                    continue
+                findings.append(finding)
+    return sorted(findings)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Repo-specific static analysis for the numpy autograd substrate.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--gradcheck-file", default=None,
+        help="override the gradcheck test module used for REPRO-GRADCHECK "
+        "coverage (default: auto-discovered tests/test_nn_gradcheck.py)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary line"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in REGISTRY:
+            print(f"{rule.rule_id:20s} {rule.description}")
+        return 0
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro.lint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    gradcheck = Path(args.gradcheck_file) if args.gradcheck_file else None
+    findings = lint_paths(paths, gradcheck_path=gradcheck)
+    for finding in findings:
+        print(finding.format())
+    if not args.quiet:
+        checked = sum(1 for _ in iter_python_files(paths))
+        status = "ok" if not findings else f"{len(findings)} finding(s)"
+        print(f"repro.lint: {checked} file(s) checked, {status}")
+    return 1 if findings else 0

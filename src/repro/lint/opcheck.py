@@ -1,0 +1,159 @@
+"""Op-inventory rules: every primitive autograd op must attach a
+backward closure and carry finite-difference coverage.
+
+A *primitive op* is any function or method that builds its output via
+``Tensor._make(data, parents, backward)`` — the single constructor for
+graph nodes.  Two rules audit them:
+
+``REPRO-OP-BACKWARD``
+    every ``_make`` call site must pass a locally-defined closure named
+    ``backward`` (the anomaly sanitizer also derives op names from that
+    closure's ``__qualname__``, so the name is part of the contract).
+
+``REPRO-GRADCHECK``
+    every public primitive op must be referenced from the gradcheck
+    suite (``tests/test_nn_gradcheck.py``), so a silently-wrong
+    derivative cannot land unexercised.  Operator-protocol dunders
+    (``__add__``, ...) are exempt: they are exercised through operator
+    syntax, which AST name matching cannot attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .rules import ModuleInfo, register
+
+
+def _direct_children(fn: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _make_calls(fn: ast.FunctionDef) -> List[ast.Call]:
+    """All ``*._make(...)`` call sites directly inside ``fn``."""
+    calls = []
+    for node in _direct_children(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_make"
+        ):
+            calls.append(node)
+    return calls
+
+
+def _local_function_names(fn: ast.FunctionDef) -> Set[str]:
+    return {
+        node.name
+        for node in _direct_children(fn)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def iter_primitive_ops(tree: ast.Module) -> Iterator[Tuple[ast.FunctionDef, List[ast.Call]]]:
+    """Yield ``(function, _make_call_sites)`` for every primitive op."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name != "_make":
+            calls = _make_calls(node)
+            if calls:
+                yield node, calls
+
+
+def gradcheck_names(source: str) -> Set[str]:
+    """Every identifier and attribute name referenced by the test module."""
+    tree = ast.parse(source)
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def op_inventory(module: ModuleInfo) -> List[str]:
+    """Names of the primitive ops a module defines (audit helper)."""
+    return sorted(fn.name for fn, _ in iter_primitive_ops(module.tree))
+
+
+@register
+class OpAttachesBackwardRule:
+    rule_id = "REPRO-OP-BACKWARD"
+    description = (
+        "Every Tensor._make call must attach a locally-defined closure "
+        "named 'backward'; a differentiable op without one silently "
+        "produces zero gradients."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.in_nn
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for fn, calls in iter_primitive_ops(module.tree):
+            local_fns = _local_function_names(fn)
+            for call in calls:
+                backward_arg: Optional[ast.AST] = None
+                if len(call.args) >= 3:
+                    backward_arg = call.args[2]
+                for kw in call.keywords:
+                    if kw.arg == "backward":
+                        backward_arg = kw.value
+                ok = (
+                    isinstance(backward_arg, ast.Name)
+                    and backward_arg.id == "backward"
+                    and backward_arg.id in local_fns
+                )
+                if not ok:
+                    findings.append(
+                        Finding(
+                            module.display, call.lineno, self.rule_id,
+                            f"op '{fn.name}' calls Tensor._make without "
+                            "attaching a locally-defined 'backward' closure",
+                        )
+                    )
+        return findings
+
+
+@register
+class GradcheckCoverageRule:
+    rule_id = "REPRO-GRADCHECK"
+    description = (
+        "Every public primitive op must be exercised by "
+        "tests/test_nn_gradcheck.py (finite-difference coverage)."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.in_nn
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        covered = getattr(module, "gradcheck_names", None)
+        if covered is None:
+            # No gradcheck suite resolvable (e.g. linting a loose file
+            # outside the repo): coverage cannot be asserted.
+            return []
+        findings = []
+        for fn, _ in iter_primitive_ops(module.tree):
+            name = fn.name
+            if name.startswith("_") and not name.startswith("__"):
+                continue  # private helper
+            if name.startswith("__") and name.endswith("__"):
+                continue  # operator protocol, exercised via operator syntax
+            if name not in covered:
+                findings.append(
+                    Finding(
+                        module.display, fn.lineno, self.rule_id,
+                        f"differentiable op '{name}' has no finite-difference "
+                        "coverage in tests/test_nn_gradcheck.py",
+                    )
+                )
+        return findings

@@ -1,0 +1,393 @@
+"""The pluggable rule engine and the general-purpose rules.
+
+A rule is any object satisfying the :class:`Rule` protocol: it carries a
+stable ``rule_id``/``description`` pair, decides which files it applies
+to, and maps a parsed module to a list of findings.  Rules register
+themselves in :data:`REGISTRY` via the :func:`register` decorator, so a
+project-local rule can be added by importing a module that defines one.
+
+Rules shipped here (the op-inventory rules live in
+:mod:`repro.lint.opcheck`):
+
+==============  =======================================================
+REPRO-IMPORT    no deep-learning framework imports (torch, jax, ...)
+REPRO-RNG       no global numpy RNG; inject a ``np.random.Generator``
+REPRO-F64       no float64 leaks into the differentiable substrate
+REPRO-MUT       no external mutation of ``Tensor.data`` in op code
+REPRO-SUP       suppression comments must carry a justification
+==============  =======================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Protocol, runtime_checkable
+
+from .findings import Finding, SuppressionIndex
+
+#: Canonical module paths of frameworks the reproduction must not use:
+#: the whole point of the repo is that it runs on numpy alone.
+FORBIDDEN_FRAMEWORKS = {
+    "torch",
+    "torchvision",
+    "tensorflow",
+    "keras",
+    "jax",
+    "flax",
+    "mxnet",
+    "theano",
+    "paddle",
+}
+
+#: Members of ``numpy.random`` that are fine to call: they construct or
+#: seed *injectable* generator objects rather than mutate global state.
+ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file plus the derived context rules need."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+    #: local name -> canonical dotted module path for numpy imports,
+    #: e.g. {"np": "numpy", "npr": "numpy.random"}.
+    numpy_aliases: Dict[str, str] = field(default_factory=dict)
+    #: identifiers referenced by tests/test_nn_gradcheck.py (set by the
+    #: engine when the suite is resolvable; None disables REPRO-GRADCHECK).
+    gradcheck_names: Optional[frozenset] = None
+
+    @property
+    def in_nn(self) -> bool:
+        """True when the file belongs to the differentiable substrate
+        (any path component named ``nn``)."""
+        return "nn" in self.path.parts
+
+    @classmethod
+    def parse(cls, path: Path, source: Optional[str] = None, display: Optional[str] = None) -> "ModuleInfo":
+        if source is None:
+            source = path.read_text(encoding="utf-8")
+        info = cls(
+            path=path,
+            display=display or str(path),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=SuppressionIndex.from_source(source),
+        )
+        info.numpy_aliases = _collect_numpy_aliases(info.tree)
+        return info
+
+
+def _collect_numpy_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases[alias.asname or alias.name] = "numpy.random"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def canonical_numpy(name: Optional[str], module: ModuleInfo) -> Optional[str]:
+    """Resolve a dotted name through the module's numpy import aliases."""
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    target = module.numpy_aliases.get(head)
+    if target is None:
+        return None
+    return f"{target}.{rest}" if rest else target
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """The protocol every lint rule implements."""
+
+    rule_id: str
+    description: str
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        ...
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        ...
+
+
+REGISTRY: List[Rule] = []
+
+
+def register(rule_cls):
+    """Class decorator adding an instance of ``rule_cls`` to the registry."""
+    REGISTRY.append(rule_cls())
+    return rule_cls
+
+
+def _finding(module: ModuleInfo, node: ast.AST, rule_id: str, message: str) -> Finding:
+    return Finding(module.display, getattr(node, "lineno", 1), rule_id, message)
+
+
+@register
+class NoFrameworkImportsRule:
+    rule_id = "REPRO-IMPORT"
+    description = (
+        "Deep-learning framework imports are forbidden; the reproduction "
+        "must run on the in-repo numpy autograd engine alone."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            roots = []
+            if isinstance(node, ast.Import):
+                roots = [(alias.name.split(".")[0], alias.name) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                roots = [(node.module.split(".")[0], node.module)]
+            for root, full in roots:
+                if root in FORBIDDEN_FRAMEWORKS:
+                    findings.append(
+                        _finding(
+                            module, node, self.rule_id,
+                            f"import of framework '{full}' is forbidden "
+                            "(numpy-only reproduction)",
+                        )
+                    )
+        return findings
+
+
+@register
+class NoGlobalRngRule:
+    rule_id = "REPRO-RNG"
+    description = (
+        "Global numpy RNG state (np.random.rand, .seed, ...) is forbidden; "
+        "inject a np.random.Generator so every run is reproducible."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = canonical_numpy(dotted_name(node.func), module)
+                if name and name.startswith("numpy.random."):
+                    member = name.split(".")[2]
+                    if member not in ALLOWED_NP_RANDOM:
+                        findings.append(
+                            _finding(
+                                module, node, self.rule_id,
+                                f"call to global RNG 'np.random.{member}'; "
+                                "use an injected np.random.Generator instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_NP_RANDOM:
+                        findings.append(
+                            _finding(
+                                module, node, self.rule_id,
+                                f"import of global RNG member "
+                                f"'numpy.random.{alias.name}'; inject a "
+                                "np.random.Generator instead",
+                            )
+                        )
+        return findings
+
+
+@register
+class NoFloat64LeakRule:
+    rule_id = "REPRO-F64"
+    description = (
+        "The differentiable substrate is float32-only: no np.float64 / "
+        "dtype=float, and numpy conversions must pin an explicit dtype."
+    )
+
+    #: calls that convert inputs and silently default to float64.
+    _CONVERTERS = {"numpy.asarray", "numpy.array", "numpy.asfarray"}
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.in_nn
+
+    def _is_float64_expr(self, node: ast.AST, module: ModuleInfo) -> bool:
+        name = canonical_numpy(dotted_name(node), module)
+        if name in ("numpy.float64", "numpy.double"):
+            return True
+        return isinstance(node, ast.Name) and node.id == "float"
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func_name = dotted_name(node.func)
+            canonical = canonical_numpy(func_name, module)
+            # x.astype(np.float64) / x.astype(float)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and self._is_float64_expr(node.args[0], module)
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        "cast to float64 in the differentiable substrate "
+                        "(float32-only by contract)",
+                    )
+                )
+                continue
+            # np.float64(...) constructor
+            if canonical in ("numpy.float64", "numpy.double"):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        "np.float64 value constructed in the differentiable "
+                        "substrate (float32-only by contract)",
+                    )
+                )
+                continue
+            # dtype=np.float64 / dtype=float keywords anywhere
+            for kw in node.keywords:
+                if kw.arg == "dtype" and self._is_float64_expr(kw.value, module):
+                    findings.append(
+                        _finding(
+                            module, node, self.rule_id,
+                            "dtype=float64 in the differentiable substrate "
+                            "(float32-only by contract)",
+                        )
+                    )
+            # bare np.asarray/np.array without an explicit dtype: promotes
+            # python floats / float64 inputs straight into the graph.
+            if canonical in self._CONVERTERS and not any(
+                kw.arg == "dtype" for kw in node.keywords
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        f"bare {func_name}(...) without dtype may leak float64 "
+                        "into a differentiable path; pass an explicit dtype",
+                    )
+                )
+        return findings
+
+
+@register
+class NoTensorDataMutationRule:
+    rule_id = "REPRO-MUT"
+    description = (
+        "Op implementations must not mutate Tensor.data of their operands; "
+        "autograd assumes forward values survive until backward "
+        "(use Tensor.assign_/bump_version for sanctioned updates)."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.in_nn
+
+    @staticmethod
+    def _data_attr_base(node: ast.AST) -> Optional[ast.AST]:
+        """Return the base expression of ``<base>.data`` (through subscripts)."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr == "data":
+            return node.value
+        return None
+
+    @classmethod
+    def _is_external_data_target(cls, node: ast.AST) -> bool:
+        base = cls._data_attr_base(node)
+        if base is None:
+            return False
+        # ``self.data = ...`` inside the Tensor class itself is the
+        # substrate managing its own storage and stays allowed.
+        return not (isinstance(base, ast.Name) and base.id == "self")
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                # np.add.at(x.data, idx, ...) style scatter mutation
+                name = dotted_name(node.func)
+                if name and name.endswith(".at") and node.args:
+                    if self._is_external_data_target(node.args[0]):
+                        findings.append(
+                            _finding(
+                                module, node, self.rule_id,
+                                "in-place scatter into Tensor.data; write to a "
+                                "fresh array and rebuild via Tensor instead",
+                            )
+                        )
+                continue
+            for target in targets:
+                if self._is_external_data_target(target):
+                    findings.append(
+                        _finding(
+                            module, node, self.rule_id,
+                            "assignment into Tensor.data outside the Tensor "
+                            "class; use Tensor.assign_() (bumps the anomaly-"
+                            "mode version counter) or build a new Tensor",
+                        )
+                    )
+        return findings
+
+
+@register
+class SuppressionNeedsReasonRule:
+    rule_id = "REPRO-SUP"
+    description = (
+        "Every '# repro-lint: disable=...' comment must justify itself "
+        "with a trailing '-- reason'."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        return [
+            Finding(
+                module.display, suppression.line, self.rule_id,
+                "suppression without justification; write "
+                "'# repro-lint: disable=RULE-ID -- reason'",
+            )
+            for suppression in module.suppressions.all()
+            if not suppression.has_reason
+        ]

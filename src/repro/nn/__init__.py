@@ -7,6 +7,7 @@ reproduction runs on numpy alone.
 """
 
 from . import functional
+from .anomaly import AnomalyError, anomaly_mode, is_anomaly_enabled
 from .attention import (
     MultiHeadAttention,
     SelfAttention,
@@ -48,6 +49,9 @@ from .tensor import (
 
 __all__ = [
     "functional",
+    "AnomalyError",
+    "anomaly_mode",
+    "is_anomaly_enabled",
     "Tensor",
     "tensor",
     "zeros",

@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled, unbroadcast
+from .tensor import Tensor, is_grad_enabled
 
 
 def relu(x: Tensor) -> Tensor:
@@ -143,14 +143,18 @@ def abs_tensor(x: Tensor) -> Tensor:
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian Error Linear Unit (tanh approximation)."""
-    data = x.data.astype(np.float64)
-    inner = np.sqrt(2.0 / np.pi) * (data + 0.044715 * data ** 3)
+    # Python-float constants keep the computation in float32 under both
+    # legacy value-based casting and NEP-50 promotion rules.
+    c0 = 0.7978845608028654  # sqrt(2 / pi)
+    c1 = 0.044715
+    data = x.data
+    inner = c0 * (data + c1 * data ** 3)
     t = np.tanh(inner)
     out_data = (0.5 * data * (1.0 + t)).astype(np.float32)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            d_inner = np.sqrt(2.0 / np.pi) * (1.0 + 3 * 0.044715 * data ** 2)
+            d_inner = c0 * (1.0 + 3 * c1 * data ** 2)
             d = 0.5 * (1.0 + t) + 0.5 * data * (1.0 - t ** 2) * d_inner
             x._accumulate((grad * d).astype(np.float32))
 
@@ -187,7 +191,7 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray, padding_idx: Optional[
     ``padding_idx`` rows contribute zero vectors and receive no gradient,
     implementing the paper's zero-encoded padding check-ins.
     """
-    idx = np.asarray(indices)
+    idx = np.asarray(indices)  # repro-lint: disable=REPRO-F64 -- integer indices, never differentiated
     out_data = weight.data[idx]
     if padding_idx is not None:
         out_data = out_data.copy()
@@ -207,7 +211,7 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray, padding_idx: Optional[
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None) -> Tensor:
     """Mean token-level cross entropy over the last axis of ``logits``."""
-    targets = np.asarray(targets)
+    targets = np.asarray(targets)  # repro-lint: disable=REPRO-F64 -- integer class ids, never differentiated
     logp = log_softmax(logits, axis=-1)
     flat_logp = logp.reshape(-1, logits.shape[-1])
     flat_t = targets.reshape(-1)

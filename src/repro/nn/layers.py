@@ -68,7 +68,7 @@ class Embedding(Module):
         self.weight = Parameter(weight)
 
     def forward(self, indices) -> Tensor:
-        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)  # repro-lint: disable=REPRO-F64 -- integer ids, cast to int64 below
         idx = idx.astype(np.int64)
         if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
             raise IndexError(

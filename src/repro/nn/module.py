@@ -90,7 +90,7 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
                     )
-                param.data = value.copy()
+                param.assign_(value.copy())
 
 
 class ModuleList(Module):

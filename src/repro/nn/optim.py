@@ -70,7 +70,7 @@ class SGD(Optimizer):
                 v *= self.momentum
                 v += grad
                 grad = v
-            p.data = p.data - self.lr * grad
+            p.assign_(p.data - self.lr * grad)
 
 
 class Adam(Optimizer):
@@ -113,7 +113,7 @@ class Adam(Optimizer):
             update = m_hat / (np.sqrt(v_hat) + self.eps)
             if self.weight_decay and self.decoupled:
                 update = update + self.weight_decay * p.data
-            p.data = p.data - self.lr * update
+            p.assign_(p.data - self.lr * update)
 
 
 def AdamW(params: Iterable[Parameter], lr: float = 1e-3, weight_decay: float = 0.01, **kw) -> Adam:

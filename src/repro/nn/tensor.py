@@ -25,6 +25,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from . import anomaly as _anomaly
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
@@ -52,7 +54,7 @@ def is_grad_enabled() -> bool:
 def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    arr = np.asarray(value)
+    arr = np.asarray(value)  # repro-lint: disable=REPRO-F64 -- dtype is normalized on the next lines
     if arr.dtype != dtype and np.issubdtype(arr.dtype, np.floating):
         arr = arr.astype(dtype)
     return arr
@@ -76,7 +78,16 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor with reverse-mode autograd support."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_version",
+        "_parent_versions",
+    )
     __array_priority__ = 100  # so ndarray + Tensor dispatches to Tensor
 
     def __init__(
@@ -89,7 +100,7 @@ class Tensor:
     ):
         if isinstance(data, Tensor):
             data = data.data
-        arr = np.asarray(data)
+        arr = np.asarray(data)  # repro-lint: disable=REPRO-F64 -- dtype is normalized on the next lines
         if np.issubdtype(arr.dtype, np.floating) and arr.dtype != np.float32:
             arr = arr.astype(np.float32)
         self.data = arr
@@ -98,6 +109,8 @@ class Tensor:
         self._parents = tuple(_parents) if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
+        self._version = 0
+        self._parent_versions = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -143,6 +156,28 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     # ------------------------------------------------------------------
+    # Sanctioned in-place mutation (see repro.nn.anomaly)
+    # ------------------------------------------------------------------
+    def bump_version(self) -> None:
+        """Declare that ``.data`` was mutated in place.
+
+        Code that must write into the underlying array directly (rather
+        than via :meth:`assign_`) calls this afterwards so that anomaly
+        mode can detect stale saved-for-backward values.
+        """
+        self._version += 1
+
+    def assign_(self, value: ArrayLike) -> "Tensor":
+        """Replace the underlying array in place (optimizer updates,
+        checkpoint loading).  Bumps the version counter so that a
+        backward pass over a graph built *before* this call fails loudly
+        under :func:`repro.nn.anomaly.anomaly_mode` instead of silently
+        differentiating through the wrong values."""
+        self.data = _as_array(value)
+        self._version += 1
+        return self
+
+    # ------------------------------------------------------------------
     # Graph construction helper
     # ------------------------------------------------------------------
     @staticmethod
@@ -151,10 +186,15 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if _anomaly._enabled:
+            _anomaly.check_forward(data, backward, parents)
         requires = _grad_enabled and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
-        return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+        out = Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
+        if _anomaly._enabled:
+            out._parent_versions = _anomaly.record_versions(parents)
+        return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = np.asarray(grad, dtype=np.float32)
@@ -200,10 +240,19 @@ class Tensor:
                 if id(parent) not in visited and parent.requires_grad:
                     stack.append((parent, False))
 
+        anomaly_on = _anomaly._enabled
+        if anomaly_on and not np.isfinite(grad).all():
+            raise _anomaly.AnomalyError(
+                "<backward seed>", "backward", "seed gradient contains NaN/Inf"
+            )
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if anomaly_on:
+                    _anomaly.check_versions(node)
                 node._backward(node.grad)
+                if anomaly_on:
+                    _anomaly.check_backward(node)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -482,7 +531,7 @@ class Tensor:
     def masked_fill(self, mask: ArrayLike, value: float) -> "Tensor":
         """Return a tensor with positions where ``mask`` is truthy replaced
         by ``value``.  Gradient flows only through unmasked positions."""
-        mask_arr = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+        mask_arr = mask.data if isinstance(mask, Tensor) else np.asarray(mask)  # repro-lint: disable=REPRO-F64 -- boolean mask, cast to bool below
         mask_arr = mask_arr.astype(bool)
         out_data = np.where(mask_arr, np.float32(value), self.data)
 
@@ -552,7 +601,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 
 
 def where(condition: ArrayLike, x: Tensor, y: Tensor) -> Tensor:
-    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)  # repro-lint: disable=REPRO-F64 -- boolean condition, cast to bool below
     cond = cond.astype(bool)
     x = x if isinstance(x, Tensor) else Tensor(_as_array(x))
     y = y if isinstance(y, Tensor) else Tensor(_as_array(y))

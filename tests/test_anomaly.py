@@ -1,0 +1,220 @@
+"""Tests for the autograd anomaly sanitizer (:mod:`repro.nn.anomaly`).
+
+Verifies that anomaly mode pinpoints the *producing* op for NaN/Inf in
+both the forward and the backward pass, that the Tensor version counter
+catches in-place mutation between forward and backward, that the
+sanitizer is inert (and free) when disabled, and — the paper-specific
+regression — that two STiSAN training steps on pathological
+time/distance intervals raise no anomaly (guarding IAAB's clipped
+relation softmax and TAPE's Δt normalization against divide-by-zero).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.anomaly import AnomalyError, anomaly_mode, is_anomaly_enabled
+from repro.nn.optim import SGD
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestForwardDetection:
+    def test_nan_pinpoints_producing_op(self):
+        x = Tensor(np.array([1.0, -1.0], dtype=np.float32), requires_grad=True)
+        with np.errstate(invalid="ignore"), anomaly_mode(), pytest.raises(AnomalyError) as err:
+            x.log()
+        assert err.value.phase == "forward"
+        assert "log" in err.value.op
+        assert "NaN" in str(err.value)
+
+    def test_inf_from_overflow(self):
+        x = Tensor(np.array([1000.0], dtype=np.float32), requires_grad=True)
+        with np.errstate(over="ignore"), anomaly_mode(), pytest.raises(AnomalyError) as err:
+            x.exp()
+        assert "exp" in err.value.op
+        assert "Inf" in str(err.value)
+
+    def test_division_by_zero(self):
+        x = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        zero = Tensor(np.array([0.0], dtype=np.float32))
+        with np.errstate(divide="ignore"), anomaly_mode(), pytest.raises(AnomalyError) as err:
+            x / zero
+        assert "__truediv__" in err.value.op
+
+    def test_operand_shapes_in_message(self):
+        x = Tensor(np.full((2, 3), -1.0, dtype=np.float32), requires_grad=True)
+        with np.errstate(invalid="ignore"), anomaly_mode(), pytest.raises(AnomalyError) as err:
+            x.log()
+        assert "(2, 3)" in str(err.value)
+
+    def test_masked_softmax_is_clean(self):
+        """IAAB-style masked softmax (even fully-blocked rows) is finite."""
+        scores = Tensor(np.random.default_rng(0).normal(size=(4, 4)).astype(np.float32),
+                        requires_grad=True)
+        mask = np.triu(np.ones((4, 4), dtype=bool), k=0)  # block the diagonal too
+        with anomaly_mode():
+            out = F.softmax(scores.masked_fill(mask, -1e9), axis=-1)
+            out.sum().backward()
+        assert np.isfinite(out.data).all()
+
+
+class TestBackwardDetection:
+    def test_backward_pinpoints_producing_op(self):
+        # sqrt at 0: forward is finite (0), backward is 0.5 / sqrt(0) = Inf.
+        x = Tensor(np.array([0.0, 4.0], dtype=np.float32), requires_grad=True)
+        with np.errstate(divide="ignore"), anomaly_mode(), pytest.raises(AnomalyError) as err:
+            (x ** 0.5).sum().backward()
+        assert err.value.phase == "backward"
+        assert "__pow__" in err.value.op
+
+    def test_nonfinite_seed_rejected(self):
+        x = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        y = x * 2.0
+        with anomaly_mode(), pytest.raises(AnomalyError) as err:
+            y.backward(np.array([np.nan], dtype=np.float32))
+        assert "seed" in err.value.op
+
+    def test_clean_backward_passes(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(5, 5)).astype(np.float32),
+                   requires_grad=True)
+        with anomaly_mode():
+            (F.softmax(x, axis=-1) ** 2).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+
+class TestMutationDetection:
+    def test_assign_between_forward_and_backward(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        with anomaly_mode(), pytest.raises(AnomalyError) as err:
+            y = x * x
+            x.assign_(np.array([3.0], dtype=np.float32))
+            y.backward()
+        assert err.value.phase == "mutation"
+        assert "__mul__" in err.value.op
+
+    def test_optimizer_step_between_forward_and_backward(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        p.grad = np.array([1.0], dtype=np.float32)
+        optimizer = SGD([p], lr=0.1)
+        with anomaly_mode(), pytest.raises(AnomalyError):
+            loss = (p * p).sum()
+            optimizer.step()  # assign_() bumps the version counter
+            loss.backward()
+
+    def test_raw_mutation_with_bump_version(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        with anomaly_mode(), pytest.raises(AnomalyError):
+            y = x * x
+            x.data[0] = 5.0
+            x.bump_version()
+            y.backward()
+
+    def test_mutation_after_backward_is_fine(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        with anomaly_mode():
+            (x * x).backward()
+            x.assign_(np.array([3.0], dtype=np.float32))
+        assert float(x.data[0]) == pytest.approx(3.0)
+
+
+class TestDisabledMode:
+    def test_off_by_default(self):
+        assert not is_anomaly_enabled()
+
+    def test_no_raise_when_disabled(self):
+        x = Tensor(np.array([-1.0], dtype=np.float32), requires_grad=True)
+        with np.errstate(invalid="ignore"):
+            y = x.log()
+        assert np.isnan(y.data).all()
+
+    def test_zero_bookkeeping_when_disabled(self):
+        """No version snapshots are recorded outside anomaly mode."""
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        y = x * x
+        assert y._parent_versions is None
+        with anomaly_mode():
+            z = x * x
+        assert z._parent_versions is not None
+
+    def test_nesting_restores_state(self):
+        with anomaly_mode():
+            assert is_anomaly_enabled()
+            with anomaly_mode(enabled=False):
+                assert not is_anomaly_enabled()
+            assert is_anomaly_enabled()
+        assert not is_anomaly_enabled()
+
+    def test_env_var_enables(self):
+        code = (
+            "import numpy as np\n"
+            "from repro.nn import AnomalyError, is_anomaly_enabled\n"
+            "from repro.nn.tensor import Tensor\n"
+            "assert is_anomaly_enabled()\n"
+            "try:\n"
+            "    with np.errstate(invalid='ignore'):\n"
+            "        Tensor(np.array([-1.0], dtype=np.float32), requires_grad=True).log()\n"
+            "except AnomalyError:\n"
+            "    raise SystemExit(7)\n"
+            "raise SystemExit(0)\n"
+        )
+        env = dict(os.environ, REPRO_ANOMALY="1")
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", code], env=env, capture_output=True)
+        assert proc.returncode == 7, proc.stderr.decode()
+
+
+class TestStisanExtremeIntervalRegression:
+    """Two STiSAN training steps on pathological intervals must be
+    anomaly-free: constant timestamps (Δt = 0 everywhere) stress TAPE's
+    mean-interval normalization, and billion-second gaps stress the
+    clipped relation matrices feeding IAAB's masked softmax."""
+
+    def _dataset_with_times(self, base, time_fn):
+        from repro.data.types import CheckInDataset, UserSequence
+
+        sequences = {
+            user: UserSequence(user, seq.pois.copy(), time_fn(len(seq)))
+            for user, seq in base.sequences.items()
+        }
+        return CheckInDataset(
+            name=f"{base.name}-extreme", poi_coords=base.poi_coords.copy(),
+            sequences=sequences,
+        )
+
+    @pytest.mark.parametrize(
+        "time_fn",
+        [
+            pytest.param(lambda m: np.full(m, 1.6e9), id="constant-timestamps"),
+            pytest.param(
+                lambda m: 1.6e9 + np.cumsum(np.where(np.arange(m) % 2 == 0, 1.0, 1e9)),
+                id="billion-second-gaps",
+            ),
+        ],
+    )
+    def test_two_train_steps_raise_no_anomaly(self, micro_dataset, time_fn):
+        from repro.core import STiSAN, STiSANConfig, TrainConfig, train_stisan
+        from repro.data import partition
+
+        ds = self._dataset_with_times(micro_dataset, time_fn)
+        cfg = STiSANConfig.small(
+            max_len=8, poi_dim=8, geo_dim=8, num_blocks=1, ffn_hidden=16, dropout=0.0,
+            quadkey_level=12, quadkey_ngram=4,
+        )
+        model = STiSAN(ds.num_pois, ds.poi_coords, cfg, rng=np.random.default_rng(0))
+        train, _ = partition(ds, n=cfg.max_len)
+        train_cfg = TrainConfig(
+            epochs=2, batch_size=max(len(train), 1), learning_rate=1e-3,
+            num_negatives=3, negative_pool=20, seed=0, verbose=False,
+        )
+        with anomaly_mode():
+            result = train_stisan(model, ds, train, train_cfg)
+        assert len(result.epoch_losses) == 2
+        assert np.isfinite(result.epoch_losses).all()

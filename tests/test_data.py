@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    PAD_POI,
     CheckIn,
-    CheckInDataset,
     PreprocessConfig,
     UserSequence,
     WorldConfig,

@@ -110,7 +110,6 @@ class TestPairedBootstrap:
     def test_bootstrap_on_model_outputs(self, micro_dataset):
         """End-to-end: bootstrap HR@10 of two scorers on real slates."""
         from repro.data import partition
-        from repro.eval.metrics import target_ranks
         from repro.eval.protocol import evaluate  # noqa: F401 (protocol sanity)
 
         _, evaluation = partition(micro_dataset, n=8)

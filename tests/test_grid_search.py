@@ -1,6 +1,5 @@
 """Tests for the hyper-parameter grid search utility."""
 
-import numpy as np
 import pytest
 
 from repro.core import STiSANConfig, TrainConfig

@@ -21,7 +21,7 @@ from repro.data import (
     write_checkins_csv,
     write_checkins_jsonl,
 )
-from repro.nn import Linear, Parameter
+from repro.nn import Linear
 
 
 class TestCsvRoundtrip:

@@ -7,11 +7,10 @@ subtle sign/scaling bugs that correctness tests miss.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.nn import functional as F
-from repro.nn.attention import SelfAttention, causal_mask
+from repro.nn.attention import SelfAttention
 from repro.nn.tensor import Tensor
 from repro.core.tape import TimeAwarePositionEncoder, VanillaPositionEncoder
 

@@ -1,0 +1,356 @@
+"""Unit tests for the ``repro.lint`` static analysis pass.
+
+Covers every rule with deliberately-injected violations in scratch
+files, the suppression syntax (including the justification
+requirement), the CLI exit codes, and — crucially — the self-gate:
+linting the repo's own ``src/`` tree must produce zero findings.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import REGISTRY, ModuleInfo, lint_paths, op_inventory
+from repro.lint.engine import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+ALL_RULE_IDS = {rule.rule_id for rule in REGISTRY}
+
+
+def write_scratch(tmp_path: Path, source: str, rel: str = "src/repro/nn/scratch.py") -> Path:
+    """Write a scratch module inside a synthetic nn/ package dir."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+class TestSelfGate:
+    def test_repo_src_is_clean(self):
+        """The gate self-enforces: the shipped tree has zero findings."""
+        findings = lint_paths([SRC])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_every_rule_has_id_and_description(self):
+        for rule in REGISTRY:
+            assert rule.rule_id.startswith("REPRO-")
+            assert len(rule.description) > 10
+
+
+class TestFrameworkImports:
+    def test_import_torch_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "import torch\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-IMPORT"}
+
+    def test_from_import_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "from tensorflow.keras import layers\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-IMPORT"}
+
+    def test_numpy_allowed(self, tmp_path):
+        path = write_scratch(tmp_path, "import numpy as np\n")
+        assert lint_paths([path]) == []
+
+
+class TestGlobalRng:
+    def test_legacy_call_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "import numpy as np\nx = np.random.rand(3)\n")
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-RNG"}
+        assert "np.random.rand" in findings[0].message
+
+    def test_seed_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "import numpy as np\nnp.random.seed(0)\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-RNG"}
+
+    def test_legacy_import_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "from numpy.random import randint\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-RNG"}
+
+    def test_default_rng_allowed(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random(3)\n",
+        )
+        assert lint_paths([path]) == []
+
+    def test_applies_outside_nn_too(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "import numpy as np\nnp.random.shuffle(x)\n", rel="src/repro/data/mod.py"
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-RNG"}
+
+
+class TestFloat64Leaks:
+    def test_dtype_keyword_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "import numpy as np\nx = np.zeros(3, dtype=np.float64)\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-F64"}
+
+    def test_astype_float_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "def f(x):\n    return x.astype(float)\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-F64"}
+
+    def test_float64_constructor_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "import numpy as np\nv = np.float64(1.0)\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-F64"}
+
+    def test_bare_asarray_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "import numpy as np\ndef f(v):\n    return np.asarray(v)\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-F64"}
+
+    def test_asarray_with_dtype_allowed(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "import numpy as np\ndef f(v):\n    return np.asarray(v, dtype=np.float32)\n"
+        )
+        assert lint_paths([path]) == []
+
+    def test_scoped_to_nn(self, tmp_path):
+        """float64 is fine outside the differentiable substrate (geo, data, ...)."""
+        path = write_scratch(
+            tmp_path,
+            "import numpy as np\nx = np.zeros(3, dtype=np.float64)\n",
+            rel="src/repro/geo/mod.py",
+        )
+        assert lint_paths([path]) == []
+
+
+class TestTensorDataMutation:
+    def test_subscript_store_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "def f(t):\n    t.data[0] = 1.0\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-MUT"}
+
+    def test_augassign_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "def f(t):\n    t.data += 1.0\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-MUT"}
+
+    def test_attribute_store_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, "def f(t, arr):\n    t.data = arr\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-MUT"}
+
+    def test_scatter_mutation_flagged(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "import numpy as np\ndef f(t, i, g):\n    np.add.at(t.data, i, g)\n"
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-MUT"}
+
+    def test_self_data_allowed(self, tmp_path):
+        """The Tensor class managing its own storage is not a violation."""
+        path = write_scratch(
+            tmp_path,
+            "class Tensor:\n    def __init__(self, arr):\n        self.data = arr\n",
+        )
+        assert lint_paths([path]) == []
+
+    def test_fresh_array_scatter_allowed(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import numpy as np\ndef f(shape, i, g):\n"
+            "    full = np.zeros(shape, dtype=np.float32)\n"
+            "    np.add.at(full, i, g)\n    return full\n",
+        )
+        assert lint_paths([path]) == []
+
+
+OP_WITHOUT_BACKWARD = """\
+from repro.nn.tensor import Tensor
+
+def my_op(x):
+    out = x.data * 2.0
+    return Tensor._make(out, (x,), None)
+"""
+
+OP_WITH_BACKWARD = """\
+from repro.nn.tensor import Tensor
+
+def doubled(x):
+    out = x.data * 2.0
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * 2.0)
+
+    return Tensor._make(out, (x,), backward)
+"""
+
+
+class TestOpAttachesBackward:
+    def test_missing_backward_flagged(self, tmp_path):
+        path = write_scratch(tmp_path, OP_WITHOUT_BACKWARD)
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-OP-BACKWARD"}
+        assert "my_op" in findings[0].message
+
+    def test_attached_backward_clean(self, tmp_path):
+        path = write_scratch(tmp_path, OP_WITH_BACKWARD)
+        assert lint_paths([path]) == []
+
+    def test_foreign_closure_flagged(self, tmp_path):
+        source = OP_WITH_BACKWARD.replace(
+            "return Tensor._make(out, (x,), backward)",
+            "return Tensor._make(out, (x,), lambda g: None)",
+        )
+        path = write_scratch(tmp_path, source)
+        assert rule_ids(lint_paths([path])) == {"REPRO-OP-BACKWARD"}
+
+
+class TestGradcheckCoverage:
+    def _write_gradcheck(self, tmp_path, body):
+        test_file = tmp_path / "tests" / "test_nn_gradcheck.py"
+        test_file.parent.mkdir(parents=True, exist_ok=True)
+        test_file.write_text(body)
+        return test_file
+
+    def test_uncovered_op_flagged(self, tmp_path):
+        self._write_gradcheck(tmp_path, "def test_covered():\n    doubled(1)\n")
+        source = OP_WITH_BACKWARD + OP_WITH_BACKWARD.replace("doubled", "tripled").split(
+            "from repro.nn.tensor import Tensor\n"
+        )[1]
+        path = write_scratch(tmp_path, source)
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-GRADCHECK"}
+        assert "tripled" in findings[0].message
+
+    def test_covered_op_clean(self, tmp_path):
+        self._write_gradcheck(tmp_path, "def test_covered():\n    doubled(1)\n")
+        path = write_scratch(tmp_path, OP_WITH_BACKWARD)
+        assert lint_paths([path]) == []
+
+    def test_no_gradcheck_file_skips_rule(self, tmp_path):
+        path = write_scratch(tmp_path, OP_WITH_BACKWARD.replace("doubled", "unheard_of"))
+        assert lint_paths([path]) == []
+
+    def test_dunder_ops_exempt(self, tmp_path):
+        self._write_gradcheck(tmp_path, "def test_nothing():\n    pass\n")
+        path = write_scratch(
+            tmp_path,
+            OP_WITH_BACKWARD.replace("def doubled(x):", "def __add__(x):"),
+        )
+        assert lint_paths([path]) == []
+
+
+class TestSuppressions:
+    def test_justified_suppression_silences(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "import torch  # repro-lint: disable=REPRO-IMPORT -- scratch fixture\n"
+        )
+        assert lint_paths([path]) == []
+
+    def test_unjustified_suppression_is_a_finding(self, tmp_path):
+        path = write_scratch(tmp_path, "import torch  # repro-lint: disable=REPRO-IMPORT\n")
+        assert rule_ids(lint_paths([path])) == {"REPRO-SUP"}
+
+    def test_sup_rule_cannot_be_suppressed(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "import torch  # repro-lint: disable=REPRO-IMPORT,REPRO-SUP\n"
+        )
+        assert "REPRO-SUP" in rule_ids(lint_paths([path]))
+
+    def test_suppression_is_line_scoped(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import jax  # repro-lint: disable=REPRO-IMPORT -- fixture\nimport torch\n",
+        )
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-IMPORT"}
+        assert findings[0].line == 2
+
+    def test_disable_all(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "import torch  # repro-lint: disable=all -- fixture\n"
+        )
+        assert lint_paths([path]) == []
+
+
+class TestEngineAndCli:
+    def test_exit_zero_on_clean(self, tmp_path, capsys):
+        path = write_scratch(tmp_path, "import numpy as np\n")
+        assert lint_main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_exit_one_with_formatted_finding(self, tmp_path, capsys):
+        path = write_scratch(tmp_path, "import torch\n")
+        assert lint_main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert f"{path}:1: REPRO-IMPORT" in out or ":1: REPRO-IMPORT" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in out
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        path = write_scratch(tmp_path, "def broken(:\n")
+        assert lint_main([str(path)]) == 1
+        assert "REPRO-SYNTAX" in capsys.readouterr().out
+
+    def test_repro_check_subcommand(self, tmp_path):
+        bad = write_scratch(tmp_path, "import torch\n")
+        assert cli_main(["check", str(bad), "--quiet"]) == 1
+        assert cli_main(["check", str(SRC), "--quiet"]) == 0
+
+    def test_module_invocation_all_violation_classes(self, tmp_path):
+        """Acceptance: every violation class injected into one scratch file
+        makes ``python -m repro.lint`` exit non-zero with the right IDs."""
+        source = "\n".join(
+            [
+                "import torch",
+                "import numpy as np",
+                "from repro.nn.tensor import Tensor",
+                "x = np.random.rand(3)",
+                "y = np.zeros(3, dtype=np.float64)",
+                "def bad_op(t):",
+                "    t.data[0] = 1.0",
+                "    return Tensor._make(t.data, (t,), None)",
+            ]
+        )
+        path = write_scratch(tmp_path, source + "\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(path)],
+            capture_output=True, text=True, env=env, cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 1
+        for rule_id in ("REPRO-IMPORT", "REPRO-RNG", "REPRO-F64", "REPRO-MUT", "REPRO-OP-BACKWARD"):
+            assert rule_id in proc.stdout, f"{rule_id} missing in:\n{proc.stdout}"
+
+
+class TestOpInventory:
+    def test_functional_inventory(self):
+        module = ModuleInfo.parse(SRC / "repro" / "nn" / "functional.py")
+        inventory = op_inventory(module)
+        for expected in ("softmax", "log_softmax", "softplus", "gelu", "elu",
+                         "leaky_relu", "embedding_lookup", "abs_tensor"):
+            assert expected in inventory
+
+    def test_tensor_inventory_includes_methods(self):
+        module = ModuleInfo.parse(SRC / "repro" / "nn" / "tensor.py")
+        inventory = op_inventory(module)
+        for expected in ("sum", "max", "exp", "matmul", "where", "masked_fill"):
+            assert expected in inventory
+
+
+class TestRuffConfig:
+    def test_ruff_clean_when_available(self):
+        """Mirror the CI ruff job; skipped where ruff is not installed."""
+        ruff = shutil.which("ruff")
+        if ruff is None:
+            pytest.skip("ruff not installed in this environment; CI runs it")
+        proc = subprocess.run(
+            [ruff, "check", "src", "tests"], cwd=REPO_ROOT, capture_output=True
+        )
+        assert proc.returncode == 0, proc.stdout.decode()

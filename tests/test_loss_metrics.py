@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.loss import bce_loss_single_negative, weighted_bce_loss
 from repro.eval.metrics import (
-    MetricReport,
     average_reports,
     hit_rate_at_k,
     ndcg_at_k,

@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn import functional as F
-from repro.nn.attention import NEG_INF, causal_mask, scaled_dot_product_attention
+from repro.nn.attention import causal_mask, scaled_dot_product_attention
 from repro.nn.tensor import Tensor
 
 

@@ -1,6 +1,5 @@
 """Tests for the experiment runner utilities and the model factory."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import TABLE3_MODELS, make_recommender

@@ -8,7 +8,6 @@ from repro.data import (
     BatchIterator,
     EvalCandidateRetriever,
     NearestNegativeSampler,
-    UserSequence,
     pad_head,
     partition,
 )

@@ -5,6 +5,12 @@ STiSAN (TAPE + IAAB + TAAD) versus its SA-only ablation and the SASRec
 backbone, on an identical candidate-scoring workload.  The reproduction
 target: the interval-aware machinery must cost only a modest constant
 factor (it is O(n^2) relation building on top of O(n^2 d) attention).
+
+The serving sweep measures the deployment path: queries-per-second of
+``RecommendationService.recommend_batch`` across batch sizes with the
+slate/geo/relation caches on.  The numpy engine's per-op overhead makes
+unbatched inference the dominant serving cost, so batching must buy at
+least 3x throughput at batch size 32.
 """
 
 from common import banner, dataset, stisan_config, train_config
@@ -12,8 +18,9 @@ from common import banner, dataset, stisan_config, train_config
 import numpy as np
 
 from repro.baselines import make_recommender
+from repro.core import RecommendationService
 from repro.data import partition
-from repro.eval import compare_latency
+from repro.eval import compare_latency, format_batch_sweep, sweep_service_batches
 
 MAX_LEN = 32
 
@@ -45,3 +52,32 @@ def test_scoring_latency(benchmark):
     # STiSAN's overhead over the GeoSAN ablation must be a modest
     # constant factor (relation building + TAPE are O(n^2) numpy ops).
     assert reports["STiSAN"].mean_s <= 5.0 * max(reports["GeoSAN"].mean_s, 1e-9)
+
+
+def run_serving_sweep():
+    ds = dataset("gowalla")
+    train, _ = partition(ds, n=MAX_LEN)
+    model = make_recommender(
+        "STiSAN", ds, max_len=MAX_LEN, dim=32, seed=0, stisan_config=stisan_config()
+    )
+    model.fit(ds, train, train_config(epochs=1))
+    service = RecommendationService(model, ds, max_len=MAX_LEN, num_candidates=100)
+    users = ds.users()[:64]
+    return sweep_service_batches(
+        service, users, batch_sizes=(1, 8, 32), k=10, rounds=2, warmup=1
+    )
+
+
+def test_serving_batch_sweep(benchmark):
+    points = benchmark.pedantic(run_serving_sweep, rounds=1, iterations=1)
+    banner("Serving — recommend_batch throughput vs batch size")
+    print(format_batch_sweep(points))
+    qps = {p.batch_size: p.queries_per_second for p in points}
+    # Batching queries through one (B, n) forward pass amortizes the
+    # numpy per-op overhead: batch 32 must clear 3x single-query qps.
+    assert qps[32] >= 3.0 * qps[1], f"batch-32 speedup {qps[32] / qps[1]:.2f}x < 3x"
+    # The steady-state caches must actually be hit on the timed rounds.
+    last = points[-1]
+    if last.cache_hit_rates:
+        assert last.cache_hit_rates["slates"] > 0.9
+        assert last.cache_hit_rates["relations"] > 0.9

@@ -22,7 +22,7 @@ import numpy as np
 from ..core.config import TrainConfig
 from ..data.sequences import SequenceExample
 from ..data.types import PAD_POI, CheckInDataset
-from ..nn.conv import HorizontalConv, VerticalConv
+from ..nn.conv import HorizontalConv, VerticalConv, unfold_sequence
 from ..nn.layers import Dropout, Embedding, Linear
 from ..nn.tensor import Tensor, concatenate, no_grad
 from .base import NeuralRecommender, register
@@ -92,8 +92,6 @@ class Caser(NeuralRecommender):
         L = self.markov_len
         emb = self.embedding(src)                              # (b, n, d)
         # Windows ending at steps L-1 .. n-1.
-        from ..nn.conv import unfold_sequence
-
         w = n - L + 1
         unfolded = unfold_sequence(emb, L).reshape(b * w, L, self.dim)
         z = self._window_vectors(unfolded).reshape(b, w, self.dim)

@@ -14,6 +14,7 @@ delta.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional
 
 import numpy as np
@@ -37,8 +38,6 @@ class GeoSAN(SequentialRecommender):
         **_,
     ):
         base = config or STiSANConfig.small()
-        from dataclasses import replace
-
         self.config = replace(base, use_tape=False, use_relation=False)
         self.model = STiSAN(num_pois, poi_coords, self.config, rng=rng)
 
@@ -52,3 +51,6 @@ class GeoSAN(SequentialRecommender):
 
     def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
         return self.model.score_candidates(src, times, candidates)
+
+    def use_serving_caches(self, caches) -> None:
+        self.model.use_serving_caches(caches)

@@ -39,3 +39,6 @@ class STiSANRecommender(SequentialRecommender):
 
     def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
         return self.model.score_candidates(src, times, candidates)
+
+    def use_serving_caches(self, caches) -> None:
+        self.model.use_serving_caches(caches)

@@ -2,12 +2,13 @@
 
 Commands
 --------
-generate   build a synthetic dataset and write it to CSV/JSONL/NPZ
-stats      print Table II-style statistics (+ mobility summary)
-train      train a model and save a checkpoint
-evaluate   evaluate a checkpoint with the paper's protocol
-compare    mini Table III over several models on one dataset
-check      run the repo-specific static lint pass (repro.lint)
+generate    build a synthetic dataset and write it to CSV/JSONL/NPZ
+stats       print Table II-style statistics (+ mobility summary)
+train       train a model and save a checkpoint
+evaluate    evaluate a checkpoint with the paper's protocol
+compare     mini Table III over several models on one dataset
+check       run the repo-specific static lint pass (repro.lint)
+serve-bench benchmark the batched serving path across batch sizes
 
 Examples
 --------
@@ -17,6 +18,7 @@ python -m repro train --data data.npz --model STiSAN --epochs 10 --out model.npz
 python -m repro evaluate --data data.npz --model STiSAN --checkpoint model.npz
 python -m repro compare --data data.npz --models POP SASRec STiSAN
 python -m repro check src
+python -m repro serve-bench --data data.npz --batch-sizes 1 8 32 --num-users 64
 """
 
 from __future__ import annotations
@@ -38,7 +40,8 @@ from .data.io import (
     write_checkins_csv,
     write_checkins_jsonl,
 )
-from .eval import evaluate
+from .core.service import RecommendationService
+from .eval import evaluate, format_batch_sweep, sweep_service_batches
 from .nn import load_checkpoint, save_checkpoint
 
 
@@ -156,6 +159,36 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    ds = _load_any(args.data)
+    train_examples, _ = partition(ds, n=args.max_len)
+    model = make_recommender(
+        args.model, ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
+        stisan_config=STiSANConfig.small(
+            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+        ),
+    )
+    if args.epochs > 0:
+        model.fit(ds, train_examples, _train_config(args))
+    service = RecommendationService(
+        model, ds, max_len=args.max_len,
+        num_candidates=min(args.candidates, ds.num_pois - 1),
+        enable_caches=not args.no_cache,
+    )
+    users = ds.users()[: args.num_users]
+    points = sweep_service_batches(
+        service, users, batch_sizes=args.batch_sizes, k=args.k,
+        rounds=args.rounds, warmup=args.warmup,
+    )
+    print(f"serving benchmark: {args.model} on {ds.name} "
+          f"({len(users)} users, k={args.k}, "
+          f"caches {'off' if args.no_cache else 'on'})")
+    print(format_batch_sweep(points))
+    if service.caches is not None:
+        print(f"cache stats (last point): {service.caches}")
+    return 0
+
+
 def cmd_check(args) -> int:
     from .lint import main as lint_main
 
@@ -213,6 +246,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--models", nargs="+", default=["POP", "SASRec", "STiSAN"])
     p.add_argument("--candidates", type=int, default=100)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("serve-bench", help="benchmark the batched serving path")
+    add_train_args(p)
+    p.add_argument("--candidates", type=int, default=100)
+    p.add_argument("--batch-sizes", type=int, nargs="+", default=[1, 8, 32])
+    p.add_argument("--num-users", type=int, default=64)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--warmup", type=int, default=1)
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the slate/geo/relation serving caches")
+    p.set_defaults(func=cmd_serve_bench, epochs=1)
 
     p = sub.add_parser("check", help="run the repo-specific static lint pass")
     p.add_argument("paths", nargs="*", default=["src"])

@@ -1,13 +1,20 @@
 """``repro.core`` — the paper's contribution: TAPE, the spatial-temporal
 relation matrix, IAAB, TAAD and the assembled STiSAN recommender."""
 
+from .cache import CacheStats, LRUCache, ServingCaches
 from .config import PAPER_EPOCHS, PAPER_TEMPERATURES, STiSANConfig, TrainConfig
 from .early_stopping import EarlyStopping, validation_split
 from .service import Recommendation, RecommendationService, UserSession
 from .geo_encoder import GeographyEncoder
 from .iaab import IntervalAwareAttentionBlock, IntervalAwareAttentionLayer
 from .loss import bce_loss_single_negative, weighted_bce_loss
-from .relation import RelationConfig, build_relation_matrix, scaled_relation_bias
+from .relation import (
+    RelationConfig,
+    build_relation_matrix,
+    build_relation_matrix_cached,
+    relation_row_key,
+    scaled_relation_bias,
+)
 from .stisan import STiSAN
 from .taad import TargetAwareAttentionDecoder, preference_scores, step_causal_mask
 from .tape import (
@@ -29,6 +36,8 @@ __all__ = [
     "time_aware_positions",
     "RelationConfig",
     "build_relation_matrix",
+    "build_relation_matrix_cached",
+    "relation_row_key",
     "scaled_relation_bias",
     "GeographyEncoder",
     "IntervalAwareAttentionBlock",
@@ -46,4 +55,7 @@ __all__ = [
     "RecommendationService",
     "Recommendation",
     "UserSession",
+    "CacheStats",
+    "LRUCache",
+    "ServingCaches",
 ]

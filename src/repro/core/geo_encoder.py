@@ -27,7 +27,7 @@ from ..geo.quadkey import QuadkeyVocab, latlon_to_quadkey
 from ..nn.attention import SelfAttention
 from ..nn.layers import Embedding, Linear
 from ..nn.module import Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 
 
 class GeographyEncoder(Module):
@@ -101,3 +101,37 @@ class GeographyEncoder(Module):
         if pad.any():
             out = out.masked_fill(pad[..., None], 0.0)
         return out
+
+    def encode_pois_cached(self, poi_ids, cache) -> np.ndarray:
+        """Geography vectors via a per-POI LRU cache (serving path).
+
+        POI coordinates are immutable, so the encoding of a POI id is a
+        pure function of frozen weights: compute each unique id once
+        (bitwise identical to :meth:`forward` — lookups, per-row pooling
+        and a per-row linear projection), cache the row, and gather.
+        Returns a raw ``(..., dim)`` float32 array (no autograd graph).
+        """
+        ids = poi_ids.data if isinstance(poi_ids, Tensor) else np.asarray(poi_ids)
+        ids = ids.astype(np.int64)
+        flat = ids.reshape(-1)
+        unique = np.unique(flat)
+        vectors = {}
+        missing = []
+        for poi in unique:
+            poi = int(poi)
+            row = cache.get(poi)
+            if row is None:
+                missing.append(poi)
+            else:
+                vectors[poi] = row
+        if missing:
+            with no_grad():
+                computed = self.forward(np.asarray(missing, dtype=np.int64)).data
+            for poi, row in zip(missing, computed):
+                cache.put(poi, row)
+                vectors[poi] = row
+        if len(flat) == 0:
+            return np.zeros(ids.shape + (self.dim,), dtype=np.float32)
+        table = np.stack([vectors[int(poi)] for poi in unique])
+        out = table[np.searchsorted(unique, flat)]
+        return out.reshape(ids.shape + (self.dim,))

@@ -18,8 +18,9 @@ Fig. 9 sweeps k_t ∈ {0,5,10,20} days and k_d ∈ {0,5,10,15} km.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -91,6 +92,68 @@ def build_relation_matrix(
 
     relation = np.where(valid, r_max - r_hat, 0.0)
     return relation.astype(np.float32)
+
+
+def relation_row_key(
+    times_row: np.ndarray,
+    coords_row: np.ndarray,
+    config: RelationConfig,
+    pad_row: Optional[np.ndarray] = None,
+) -> bytes:
+    """Content hash of one sequence's relation-matrix inputs.
+
+    Two sequences share a key exactly when their timestamps, coordinates,
+    padding pattern and clipping thresholds all match — so a cached
+    matrix can never be served for different inputs.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(times_row, dtype=np.float64).tobytes())
+    digest.update(np.ascontiguousarray(coords_row, dtype=np.float64).tobytes())
+    if pad_row is not None:
+        digest.update(np.ascontiguousarray(pad_row, dtype=bool).tobytes())
+    digest.update(np.float64(config.k_t_days).tobytes())
+    digest.update(np.float64(config.k_d_km).tobytes())
+    return digest.digest()
+
+
+def build_relation_matrix_cached(
+    times: np.ndarray,
+    coords: np.ndarray,
+    config: RelationConfig,
+    pad_mask: Optional[np.ndarray],
+    cache,
+    owners: Optional[Sequence] = None,
+) -> np.ndarray:
+    """Batched relation matrices with a per-sequence LRU cache.
+
+    Each row of the ``(b, n)`` batch is keyed by :func:`relation_row_key`
+    and looked up in ``cache`` (an ``LRUCache``); misses are computed via
+    :func:`build_relation_matrix` on the single row, which is bitwise
+    identical to the batched computation (all ops are elementwise or
+    per-row reductions).  ``owners`` optionally tags row ``i``'s entry so
+    a user's check-in can invalidate it.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    coords = np.asarray(coords, dtype=np.float64)
+    if times.ndim != 2:
+        raise ValueError(f"expected a (b, n) batch, got times shape {times.shape}")
+    if owners is not None and len(owners) != times.shape[0]:
+        owners = None  # a mismatched tag list is ignored, never misapplied
+    rows = []
+    for i in range(times.shape[0]):
+        pad_row = None if pad_mask is None else np.asarray(pad_mask, dtype=bool)[i]
+        key = relation_row_key(times[i], coords[i], config, pad_row)
+        matrix = cache.get(key)
+        if matrix is None:
+            matrix = build_relation_matrix(
+                times[i : i + 1],
+                coords[i : i + 1],
+                config=config,
+                pad_mask=None if pad_row is None else pad_row[None, :],
+            )[0]
+            cache.put(key, matrix, owner=None if owners is None else owners[i])
+        rows.append(matrix)
+    return np.stack(rows)
 
 
 def scaled_relation_bias(

@@ -6,6 +6,22 @@ ask for Top-K next-POI suggestions, and persist/restore the whole
 service.  This is the "end-to-end deployment" the paper positions
 STiSAN as (Section I), packaged the way a downstream service would
 consume it.
+
+Two serving paths share every piece of query preparation:
+
+- :meth:`RecommendationService.recommend` scores one user per model
+  call — the reference path;
+- :meth:`RecommendationService.recommend_batch` pads B live sessions
+  into a single ``(B, n)`` forward pass under ``no_grad`` and is
+  **bitwise identical** to looping ``recommend`` (the property-based
+  equivalence suite in ``tests/test_service_batching.py`` enforces it).
+
+A :class:`~repro.core.cache.ServingCaches` bundle (on by default)
+memoizes candidate slates, per-POI geography encodings and
+per-sequence relation matrices; ``check_in`` invalidates the user's
+session-derived entries, and slate keys additionally include the
+session length so a stale slate is unrepresentable even if the cache
+is never invalidated.
 """
 
 from __future__ import annotations
@@ -17,7 +33,10 @@ import numpy as np
 
 from ..data.sequences import pad_head
 from ..data.types import PAD_POI, CheckInDataset
+from ..geo.haversine import haversine
 from ..geo.neighbors import PoiIndex
+from ..nn.tensor import no_grad
+from .cache import ServingCaches
 
 
 @dataclass
@@ -63,6 +82,10 @@ class RecommendationService:
         with each user's training history.
     max_len : model window length n; histories are trimmed/padded to it.
     num_candidates : slate size retrieved around the anchor POI.
+    caches : a :class:`ServingCaches` bundle to use; a fresh default
+        bundle is created when None and ``enable_caches`` is True.
+    enable_caches : set False to serve fully uncached (every query
+        recomputes slates, geography encodings and relation matrices).
     """
 
     def __init__(
@@ -71,6 +94,8 @@ class RecommendationService:
         dataset: CheckInDataset,
         max_len: int = 100,
         num_candidates: int = 100,
+        caches: Optional[ServingCaches] = None,
+        enable_caches: bool = True,
     ):
         if max_len < 2:
             raise ValueError("max_len must be >= 2")
@@ -78,6 +103,10 @@ class RecommendationService:
         self.dataset = dataset
         self.max_len = max_len
         self.num_candidates = min(num_candidates, dataset.num_pois - 1)
+        self.caches = (caches or ServingCaches()) if enable_caches else None
+        attach = getattr(model, "use_serving_caches", None)
+        if callable(attach):
+            attach(self.caches)
         self._index = PoiIndex(dataset.poi_coords[1:], offset=1)
         self._sessions: Dict[int, UserSession] = {}
         for user in dataset.users():
@@ -94,14 +123,32 @@ class RecommendationService:
         return self._sessions[user]
 
     def check_in(self, user: int, poi: int, timestamp: float) -> None:
-        """Record a live check-in for ``user``."""
+        """Record a live check-in for ``user`` and invalidate the user's
+        session-derived cache entries (slates and relation matrices)."""
         if not 1 <= poi <= self.dataset.num_pois:
             raise ValueError(f"unknown POI id {poi}")
         self.session(user).append(poi, timestamp)
+        if self.caches is not None:
+            self.caches.invalidate_user(user)
 
     # ------------------------------------------------------------------
+    # Query preparation (shared by both serving paths)
+    # ------------------------------------------------------------------
+    def _require_session(self, user: int) -> UserSession:
+        session = self._sessions.get(user)
+        if session is None or len(session) == 0:
+            raise ValueError(f"user {user} has no history; record a check-in first")
+        return session
+
     def _candidate_slate(self, session: UserSession, exclude_visited: bool) -> np.ndarray:
         anchor = session.pois[-1]
+        # The session length in the key makes a stale hit impossible:
+        # any append changes the key even if invalidation never ran.
+        key = (session.user, anchor, self.num_candidates, bool(exclude_visited), len(session))
+        if self.caches is not None:
+            cached = self.caches.slates.get(key)
+            if cached is not None:
+                return cached
         exclude = set(session.pois) if exclude_visited else {anchor}
         slate = self._index.nearest_excluding(anchor, self.num_candidates, exclude=exclude)
         if len(slate) == 0:
@@ -110,8 +157,64 @@ class RecommendationService:
                 [p for p in range(1, self.dataset.num_pois + 1) if p != anchor],
                 dtype=np.int64,
             )
+        if self.caches is not None:
+            self.caches.slates.put(key, slate, owner=session.user)
         return slate
 
+    def _resolve_slate(
+        self,
+        session: UserSession,
+        exclude_visited: bool,
+        candidates: Optional[Sequence[int]],
+    ) -> np.ndarray:
+        if candidates is not None:
+            return np.asarray(list(candidates), dtype=np.int64)
+        return self._candidate_slate(session, exclude_visited)
+
+    def _query_arrays(self, session: UserSession) -> tuple:
+        src = pad_head(np.asarray(session.pois[-self.max_len:], dtype=np.int64),
+                       self.max_len, PAD_POI)
+        first_time = session.times[max(0, len(session) - self.max_len)]
+        times = pad_head(np.asarray(session.times[-self.max_len:], dtype=np.float64),
+                         self.max_len, first_time)
+        return src, times
+
+    def _score(
+        self,
+        src: np.ndarray,
+        times: np.ndarray,
+        slates: np.ndarray,
+        users: Sequence[int],
+    ) -> np.ndarray:
+        """One ``(B, n)`` model call; rows tagged with their owners so
+        cache entries written inside the model stay invalidatable."""
+        with no_grad():
+            if self.caches is not None:
+                with self.caches.rows(users):
+                    return self.model.score_candidates(src, times, slates)
+            return self.model.score_candidates(src, times, slates)
+
+    def _package(
+        self, session: UserSession, slate: np.ndarray, scores: np.ndarray, k: int
+    ) -> List[Recommendation]:
+        order = np.argsort(-scores)[:k]
+        cur_lat, cur_lon = self.dataset.poi_coords[session.pois[-1]]
+        out = []
+        for idx in order:
+            poi = int(slate[idx])
+            lat, lon = self.dataset.poi_coords[poi]
+            out.append(
+                Recommendation(
+                    poi=poi,
+                    score=float(scores[idx]),
+                    distance_km=float(haversine(cur_lat, cur_lon, lat, lon)),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Serving paths
+    # ------------------------------------------------------------------
     def recommend(
         self,
         user: int,
@@ -125,38 +228,64 @@ class RecommendationService:
         current location (mirroring the evaluation protocol); pass an
         explicit list to re-rank an external slate instead.
         """
-        session = self._sessions.get(user)
-        if session is None or len(session) == 0:
-            raise ValueError(f"user {user} has no history; record a check-in first")
-        slate = (
-            np.asarray(list(candidates), dtype=np.int64)
-            if candidates is not None
-            else self._candidate_slate(session, exclude_visited)
-        )
+        session = self._require_session(user)
+        slate = self._resolve_slate(session, exclude_visited, candidates)
         if slate.size == 0:
             return []
+        src, times = self._query_arrays(session)
+        scores = self._score(src[None, :], times[None, :], slate[None, :], [user])[0]
+        return self._package(session, slate, scores, k)
 
-        src = pad_head(np.asarray(session.pois[-self.max_len:], dtype=np.int64),
-                       self.max_len, PAD_POI)
-        first_time = session.times[max(0, len(session) - self.max_len)]
-        times = pad_head(np.asarray(session.times[-self.max_len:], dtype=np.float64),
-                         self.max_len, first_time)
-        scores = self.model.score_candidates(
-            src[None, :], times[None, :], slate[None, :]
-        )[0]
-        order = np.argsort(-scores)[:k]
-        cur_lat, cur_lon = self.dataset.poi_coords[session.pois[-1]]
-        out = []
-        for idx in order:
-            poi = int(slate[idx])
-            lat, lon = self.dataset.poi_coords[poi]
-            from ..geo.haversine import haversine
+    def recommend_batch(
+        self,
+        users: Sequence[int],
+        k: int = 10,
+        exclude_visited: bool = True,
+        candidates: Optional[Sequence[Optional[Sequence[int]]]] = None,
+    ) -> List[List[Recommendation]]:
+        """Top-K suggestions for several users in one model call.
 
-            out.append(
-                Recommendation(
-                    poi=poi,
-                    score=float(scores[idx]),
-                    distance_km=float(haversine(cur_lat, cur_lon, lat, lon)),
-                )
+        Sessions are padded to the model window and ragged candidate
+        slates to a common width (by repeating a slate's last id —
+        candidate scores are row-independent, so the fillers never
+        perturb real scores and are sliced off before ranking).  The
+        result is exactly ``[recommend(u, ...) for u in users]``,
+        bitwise, at a fraction of the per-query overhead.
+
+        ``candidates`` is an optional per-user list aligned with
+        ``users``; None entries fall back to the retrieved slate.
+        """
+        users = list(users)
+        if candidates is not None and len(candidates) != len(users):
+            raise ValueError(
+                f"candidates must align with users: {len(candidates)} != {len(users)}"
             )
-        return out
+        sessions = [self._require_session(u) for u in users]
+        slates = [
+            self._resolve_slate(
+                session, exclude_visited, None if candidates is None else candidates[i]
+            )
+            for i, session in enumerate(sessions)
+        ]
+        results: List[List[Recommendation]] = [[] for _ in users]
+        live = [i for i, slate in enumerate(slates) if slate.size > 0]
+        if not live:
+            return results
+
+        width = max(len(slates[i]) for i in live)
+        batch_slates = np.stack([
+            np.concatenate([
+                slates[i],
+                np.full(width - len(slates[i]), slates[i][-1], dtype=np.int64),
+            ])
+            for i in live
+        ])
+        prepared = [self._query_arrays(sessions[i]) for i in live]
+        src = np.stack([p[0] for p in prepared])
+        times = np.stack([p[1] for p in prepared])
+        scores = self._score(src, times, batch_slates, [users[i] for i in live])
+        for row, i in enumerate(live):
+            results[i] = self._package(
+                sessions[i], slates[i], scores[row, : len(slates[i])], k
+            )
+        return results

@@ -26,10 +26,11 @@ from ..data.types import PAD_POI
 from ..nn.layers import Dropout, Embedding, LayerNorm
 from ..nn.module import Module, ModuleList
 from ..nn.tensor import Tensor, concatenate
+from .cache import ServingCaches
 from .config import STiSANConfig
 from .geo_encoder import GeographyEncoder
 from .iaab import IntervalAwareAttentionBlock
-from .relation import build_relation_matrix, scaled_relation_bias
+from .relation import build_relation_matrix, build_relation_matrix_cached, scaled_relation_bias
 from .taad import TargetAwareAttentionDecoder, preference_scores, step_causal_mask
 from .tape import TimeAwarePositionEncoder, VanillaPositionEncoder
 
@@ -86,6 +87,23 @@ class STiSAN(Module):
         )
         self.final_norm = LayerNorm(d)
         self.decoder = TargetAwareAttentionDecoder(d)
+        self.serving_caches: Optional[ServingCaches] = None
+
+    # ------------------------------------------------------------------
+    # Serving caches
+    # ------------------------------------------------------------------
+    def use_serving_caches(self, caches: Optional[ServingCaches]) -> None:
+        """Attach (or detach with None) a serving-cache bundle.
+
+        Caches are only consulted in eval mode — training always
+        recomputes, so gradients and dropout stay untouched.  Cached
+        paths are bitwise identical to the uncached ones; the service's
+        equivalence suite enforces that.
+        """
+        self.serving_caches = caches
+
+    def _active_caches(self) -> Optional[ServingCaches]:
+        return self.serving_caches if not self.training else None
 
     # ------------------------------------------------------------------
     # Embedding
@@ -96,7 +114,11 @@ class STiSAN(Module):
         poi_vec = self.poi_embedding(poi_ids)
         if not self.config.use_geo:
             return poi_vec
-        geo_vec = self.geo_encoder(poi_ids)
+        caches = self._active_caches()
+        if caches is not None:
+            geo_vec = Tensor(self.geo_encoder.encode_pois_cached(poi_ids, caches.geo))
+        else:
+            geo_vec = self.geo_encoder(poi_ids)
         return concatenate([poi_vec, geo_vec], axis=-1)
 
     # ------------------------------------------------------------------
@@ -138,9 +160,16 @@ class STiSAN(Module):
         relation_bias = None
         if self.config.use_relation:
             coords = self.poi_coords[src]
-            relation = build_relation_matrix(
-                times, coords, config=self.config.relation, pad_mask=pad
-            )
+            caches = self._active_caches()
+            if caches is not None:
+                relation = build_relation_matrix_cached(
+                    times, coords, self.config.relation, pad,
+                    caches.relations, owners=caches.row_owners,
+                )
+            else:
+                relation = build_relation_matrix(
+                    times, coords, config=self.config.relation, pad_mask=pad
+                )
             relation_bias = scaled_relation_bias(relation, attend_mask)
 
         weights_per_block: List[np.ndarray] = []

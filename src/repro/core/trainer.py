@@ -90,7 +90,7 @@ def train_stisan(
         if on_epoch_end is not None:
             on_epoch_end(epoch, mean_loss)
         if stopper is not None:
-            from ..eval.protocol import evaluate  # local import: avoids a cycle
+            from ..eval.protocol import evaluate  # repro-lint: disable=REPRO-HOTIMPORT -- breaks the core<->eval import cycle; runs once per epoch, not per query
 
             model.eval()
             report = evaluate(model, dataset, validation, num_candidates=num_candidates)

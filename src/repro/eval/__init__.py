@@ -12,7 +12,14 @@ from .extra_metrics import (
     per_instance_ndcg,
 )
 from .flops import FlopsBreakdown, attention_encoder_flops, compare_sa_iaab, parameter_counts
-from .latency import LatencyReport, compare_latency, measure_scoring_latency
+from .latency import (
+    BatchSweepPoint,
+    LatencyReport,
+    compare_latency,
+    format_batch_sweep,
+    measure_scoring_latency,
+    sweep_service_batches,
+)
 from .metrics import (
     MetricReport,
     average_reports,
@@ -54,6 +61,9 @@ __all__ = [
     "LatencyReport",
     "measure_scoring_latency",
     "compare_latency",
+    "BatchSweepPoint",
+    "sweep_service_batches",
+    "format_batch_sweep",
     "ExperimentRecord",
     "ResultsStore",
     "grid_search",

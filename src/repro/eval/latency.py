@@ -4,13 +4,19 @@ The paper's "lightweight" claim is argued in FLOPs (Table VI); this
 module measures it operationally: wall-clock per-query latency and
 queries-per-second of ``score_candidates`` on a fixed workload, so two
 models can be compared on the same slate sizes.
+
+:func:`sweep_service_batches` measures the serving layer itself — the
+end-to-end ``RecommendationService`` path (slate retrieval, padding,
+model call, ranking) across batch sizes, reporting the throughput
+speedup of ``recommend_batch`` over looped ``recommend`` together with
+the serving-cache hit rates.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -80,6 +86,103 @@ def measure_scoring_latency(
         num_candidates=slates.shape[1],
         num_calls=num_calls,
     )
+
+
+@dataclass
+class BatchSweepPoint:
+    """Serving throughput at one batch size."""
+
+    batch_size: int
+    total_s: float                 # wall-clock for all timed queries
+    queries_per_second: float
+    mean_query_s: float
+    speedup: float                 # vs the batch-size-1 point of the sweep
+    cache_hit_rates: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        rates = " ".join(f"{k}={v:.0%}" for k, v in self.cache_hit_rates.items())
+        return (
+            f"batch={self.batch_size:3d} qps={self.queries_per_second:8.1f} "
+            f"mean={self.mean_query_s * 1e3:6.2f}ms speedup={self.speedup:5.2f}x"
+            + (f"  [{rates}]" if rates else "")
+        )
+
+
+def format_batch_sweep(points: Sequence[BatchSweepPoint]) -> str:
+    """Render a sweep as an aligned table (used by CLI and benchmarks)."""
+    lines = [f"{'batch':>5s} {'qps':>9s} {'ms/query':>9s} {'speedup':>8s}  cache hit-rates"]
+    for p in points:
+        rates = " ".join(f"{k}={v:.0%}" for k, v in p.cache_hit_rates.items()) or "-"
+        lines.append(
+            f"{p.batch_size:5d} {p.queries_per_second:9.1f} "
+            f"{p.mean_query_s * 1e3:9.2f} {p.speedup:7.2f}x  {rates}"
+        )
+    return "\n".join(lines)
+
+
+def sweep_service_batches(
+    service,
+    users: Sequence[int],
+    batch_sizes: Sequence[int] = (1, 8, 32),
+    k: int = 10,
+    rounds: int = 3,
+    warmup: int = 1,
+    reset_caches: bool = True,
+) -> List[BatchSweepPoint]:
+    """Throughput of the service across ``recommend_batch`` sizes.
+
+    Batch size 1 uses the single-query ``recommend`` path (the true
+    unbatched baseline); larger sizes chunk ``users`` through
+    ``recommend_batch``.  Every point gets the same treatment — caches
+    cleared, ``warmup`` untimed rounds (repopulating the caches), then
+    ``rounds`` timed rounds — so speedups isolate batching itself while
+    hit rates reflect the steady state.
+    """
+    users = list(users)
+    if not users:
+        raise ValueError("no users to sweep over")
+    if rounds < 1 or warmup < 0:
+        raise ValueError("rounds must be >= 1 and warmup >= 0")
+
+    def run_once(batch_size: int) -> None:
+        if batch_size <= 1:
+            for user in users:
+                service.recommend(user, k=k)
+        else:
+            for start in range(0, len(users), batch_size):
+                service.recommend_batch(users[start:start + batch_size], k=k)
+
+    points: List[BatchSweepPoint] = []
+    for batch_size in batch_sizes:
+        if reset_caches and service.caches is not None:
+            service.caches.clear()
+        for _ in range(warmup):
+            run_once(batch_size)
+        if service.caches is not None:
+            service.caches.reset_stats()
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            run_once(batch_size)
+        total = time.perf_counter() - t0
+        queries = rounds * len(users)
+        points.append(
+            BatchSweepPoint(
+                batch_size=batch_size,
+                total_s=total,
+                queries_per_second=queries / total,
+                mean_query_s=total / queries,
+                speedup=1.0,
+                cache_hit_rates=(
+                    service.caches.hit_rates() if service.caches is not None else {}
+                ),
+            )
+        )
+    baseline = next(
+        (p for p in points if p.batch_size <= 1), points[0]
+    ).queries_per_second
+    for p in points:
+        p.speedup = p.queries_per_second / baseline
+    return points
 
 
 def compare_latency(

@@ -9,13 +9,14 @@ project-local rule can be added by importing a module that defines one.
 Rules shipped here (the op-inventory rules live in
 :mod:`repro.lint.opcheck`):
 
-==============  =======================================================
-REPRO-IMPORT    no deep-learning framework imports (torch, jax, ...)
-REPRO-RNG       no global numpy RNG; inject a ``np.random.Generator``
-REPRO-F64       no float64 leaks into the differentiable substrate
-REPRO-MUT       no external mutation of ``Tensor.data`` in op code
-REPRO-SUP       suppression comments must carry a justification
-==============  =======================================================
+==============   ======================================================
+REPRO-IMPORT     no deep-learning framework imports (torch, jax, ...)
+REPRO-RNG        no global numpy RNG; inject a ``np.random.Generator``
+REPRO-F64        no float64 leaks into the differentiable substrate
+REPRO-MUT        no external mutation of ``Tensor.data`` in op code
+REPRO-HOTIMPORT  no function-body imports in hot-path modules
+REPRO-SUP        suppression comments must carry a justification
+==============   ======================================================
 """
 
 from __future__ import annotations
@@ -365,6 +366,43 @@ class NoTensorDataMutationRule:
                             "assignment into Tensor.data outside the Tensor "
                             "class; use Tensor.assign_() (bumps the anomaly-"
                             "mode version counter) or build a new Tensor",
+                        )
+                    )
+        return findings
+
+
+@register
+class NoHotPathFunctionImportRule:
+    rule_id = "REPRO-HOTIMPORT"
+    description = (
+        "Imports inside function bodies of hot-path modules (core/nn/geo/"
+        "data/baselines/eval) pay the import-lock lookup on every call; "
+        "hoist them to module scope."
+    )
+
+    #: Path components marking request/training hot paths.  Tooling
+    #: (lint), offline analysis and the CLI may lazy-import freely.
+    HOT_DIRS = frozenset({"core", "nn", "geo", "data", "baselines", "eval"})
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return any(part in self.HOT_DIRS for part in module.path.parts)
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        seen: set = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)) and id(sub) not in seen:
+                    seen.add(id(sub))
+                    findings.append(
+                        _finding(
+                            module, sub, self.rule_id,
+                            f"import inside function '{node.name}' runs on "
+                            "every call in a hot path; move it to module "
+                            "scope (or suppress with a justification if it "
+                            "breaks an import cycle)",
                         )
                     )
         return findings

@@ -152,6 +152,7 @@ class TestDisabledMode:
             assert is_anomaly_enabled()
         assert not is_anomaly_enabled()
 
+    @pytest.mark.slow  # spawns a fresh interpreter to observe REPRO_ANOMALY
     def test_env_var_enables(self):
         code = (
             "import numpy as np\n"

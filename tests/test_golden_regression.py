@@ -1,0 +1,61 @@
+"""End-to-end golden regression: the seeded STiSAN serving pipeline
+must keep producing the committed top-10 slates.
+
+The fixture lives in ``tests/golden/stisan_service_top10.json`` and is
+regenerated with ``PYTHONPATH=src python tests/golden/regenerate.py``
+— only after a commit that *intentionally* changes model outputs.
+POI ids must match exactly; scores within 1e-6 (absorbing BLAS-level
+reassociation across platforms, nothing more).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.golden.regenerate import GOLDEN_PATH, TOP_K, build_golden
+
+pytestmark = pytest.mark.slow  # trains a (tiny) model end-to-end
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return build_golden()
+
+
+@pytest.fixture(scope="module")
+def committed():
+    assert GOLDEN_PATH.is_file(), (
+        f"missing golden fixture {GOLDEN_PATH}; run "
+        "PYTHONPATH=src python tests/golden/regenerate.py"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenRegression:
+    def test_meta_unchanged(self, fresh, committed):
+        assert fresh["meta"] == committed["meta"]
+
+    def test_same_user_set(self, fresh, committed):
+        assert set(fresh["users"]) == set(committed["users"])
+
+    def test_top10_ids_exact(self, fresh, committed):
+        for user, expected in committed["users"].items():
+            got = fresh["users"][user]
+            assert got["pois"] == expected["pois"], f"user {user} ranking drifted"
+            assert len(got["pois"]) == TOP_K
+
+    def test_scores_within_tolerance(self, fresh, committed):
+        for user, expected in committed["users"].items():
+            np.testing.assert_allclose(
+                np.asarray(fresh["users"][user]["scores"]),
+                np.asarray(expected["scores"]),
+                rtol=0.0, atol=1e-6,
+                err_msg=f"user {user} scores drifted beyond 1e-6",
+            )
+
+    def test_scores_strictly_ordered(self, committed):
+        """The committed fixture itself must be a valid ranking."""
+        for user, expected in committed["users"].items():
+            scores = expected["scores"]
+            assert scores == sorted(scores, reverse=True), user

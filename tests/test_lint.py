@@ -238,6 +238,50 @@ class TestGradcheckCoverage:
         assert lint_paths([path]) == []
 
 
+class TestHotPathImports:
+    def test_function_body_import_flagged(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "def hot():\n    import os\n    return os.getpid()\n",
+            rel="src/repro/core/scratch.py",
+        )
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-HOTIMPORT"}
+        assert findings[0].line == 2
+
+    def test_from_import_in_method_flagged(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "class S:\n    def go(self):\n        from math import sqrt\n        return sqrt(2)\n",
+            rel="src/repro/baselines/scratch.py",
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-HOTIMPORT"}
+
+    def test_module_scope_import_allowed(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import os\n\ndef hot():\n    return os.getpid()\n",
+            rel="src/repro/core/scratch.py",
+        )
+        assert lint_paths([path]) == []
+
+    def test_cold_paths_exempt(self, tmp_path):
+        source = "def cold():\n    import os\n    return os.getpid()\n"
+        for rel in ("src/repro/analysis/scratch.py", "src/repro/lint/scratch.py"):
+            path = write_scratch(tmp_path, source, rel=rel)
+            assert lint_paths([path]) == [], rel
+
+    def test_justified_cycle_break_suppressed(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "def hot():\n"
+            "    from math import sqrt  # repro-lint: disable=REPRO-HOTIMPORT -- cycle\n"
+            "    return sqrt(2)\n",
+            rel="src/repro/core/scratch.py",
+        )
+        assert lint_paths([path]) == []
+
+
 class TestSuppressions:
     def test_justified_suppression_silences(self, tmp_path):
         path = write_scratch(
@@ -302,6 +346,7 @@ class TestEngineAndCli:
         assert cli_main(["check", str(bad), "--quiet"]) == 1
         assert cli_main(["check", str(SRC), "--quiet"]) == 0
 
+    @pytest.mark.slow  # spawns a fresh python -m repro.lint subprocess
     def test_module_invocation_all_violation_classes(self, tmp_path):
         """Acceptance: every violation class injected into one scratch file
         makes ``python -m repro.lint`` exit non-zero with the right IDs."""

@@ -11,16 +11,27 @@ The serving sweep measures the deployment path: queries-per-second of
 slate/geo/relation caches on.  The numpy engine's per-op overhead makes
 unbatched inference the dominant serving cost, so batching must buy at
 least 3x throughput at batch size 32.
+
+The observability-overhead check guards the ``repro.obs`` layer's
+always-on promise on the same batch-32 serving path: disabled-mode cost
+(no-op span/counter guards) must stay under 2%, and enabled-mode
+metrics + spans (no op profiler) under 15%.  The measured numbers are
+persisted to the bench results JSON alongside the sweep.
 """
 
-from common import banner, dataset, stisan_config, train_config
+from common import banner, dataset, persist, stisan_config, train_config
 
 import numpy as np
 
 from repro.baselines import make_recommender
 from repro.core import RecommendationService
 from repro.data import partition
-from repro.eval import compare_latency, format_batch_sweep, sweep_service_batches
+from repro.eval import (
+    compare_latency,
+    format_batch_sweep,
+    measure_observability_overhead,
+    sweep_service_batches,
+)
 
 MAX_LEN = 32
 
@@ -81,3 +92,35 @@ def test_serving_batch_sweep(benchmark):
     if last.cache_hit_rates:
         assert last.cache_hit_rates["slates"] > 0.9
         assert last.cache_hit_rates["relations"] > 0.9
+
+
+def run_observability_overhead():
+    ds = dataset("gowalla")
+    train, _ = partition(ds, n=MAX_LEN)
+    model = make_recommender(
+        "STiSAN", ds, max_len=MAX_LEN, dim=32, seed=0, stisan_config=stisan_config()
+    )
+    model.fit(ds, train, train_config(epochs=1))
+    service = RecommendationService(model, ds, max_len=MAX_LEN, num_candidates=100)
+    users = ds.users()[:64]
+    return measure_observability_overhead(
+        service, users, batch_size=32, rounds=2, repeats=3
+    )
+
+
+def test_observability_overhead(benchmark):
+    report = benchmark.pedantic(run_observability_overhead, rounds=1, iterations=1)
+    banner("Observability — repro.obs cost on the batch-32 serving path")
+    print(report)
+    persist("observability_overhead", {"batch32": report.as_dict()})
+    # Disabled mode is the always-on promise: the instrumentation's
+    # worst-case bound (every site priced as a no-op span call) must be
+    # well inside 2% of a query.
+    assert report.disabled_overhead_frac < 0.02, (
+        f"disabled-mode bound {report.disabled_overhead_frac:.3%} >= 2%"
+    )
+    # Enabled metrics + spans (no op profiler) must stay cheap enough to
+    # leave on in an experiment run.
+    assert report.enabled_overhead_frac < 0.15, (
+        f"enabled-mode overhead {report.enabled_overhead_frac:.1%} >= 15%"
+    )

@@ -9,6 +9,8 @@ evaluate    evaluate a checkpoint with the paper's protocol
 compare     mini Table III over several models on one dataset
 check       run the repo-specific static lint pass (repro.lint)
 serve-bench benchmark the batched serving path across batch sizes
+profile     train + serve a small run under full observability and
+            print the span tree, per-op profile and metrics
 
 Examples
 --------
@@ -19,6 +21,7 @@ python -m repro evaluate --data data.npz --model STiSAN --checkpoint model.npz
 python -m repro compare --data data.npz --models POP SASRec STiSAN
 python -m repro check src
 python -m repro serve-bench --data data.npz --batch-sizes 1 8 32 --num-users 64
+python -m repro profile --scale 0.1 --epochs 1 --json-out metrics.json
 """
 
 from __future__ import annotations
@@ -189,6 +192,64 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from . import obs
+    from .core.trainer import train_stisan
+
+    if args.data:
+        ds = _load_any(args.data)
+    else:
+        ds = load_dataset(args.profile, seed=args.seed, scale=args.scale)
+    train_examples, _ = partition(ds, n=args.max_len)
+    wrapper = make_recommender(
+        "STiSAN", ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
+        stisan_config=STiSANConfig.small(
+            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+        ),
+    )
+    telemetry = obs.TelemetrySink(args.telemetry_out) if args.telemetry_out else None
+    obs.reset()
+    config = _train_config(args)
+    with obs.observability(), obs.op_profile() as profile:
+        train_stisan(wrapper.model, ds, train_examples, config, telemetry=telemetry)
+        service = RecommendationService(
+            wrapper, ds, max_len=args.max_len,
+            num_candidates=min(args.candidates, ds.num_pois - 1),
+        )
+        users = ds.users()[: args.num_users]
+        for start in range(0, len(users), args.batch_size):
+            service.recommend_batch(users[start : start + args.batch_size], k=args.k)
+    if telemetry is not None:
+        telemetry.close()
+
+    print(f"profile: STiSAN on {ds.name} "
+          f"({config.epochs} epoch(s), {len(users)} served users)")
+    print()
+    print("span tree (aggregated):")
+    print(obs.render_trace())
+    print()
+    print("op-level profile (forward self-time / exact backward):")
+    print(profile.format_table(top=args.top_ops))
+    print()
+    print("metrics:")
+    for metric in obs.REGISTRY.collect():
+        if metric.kind == "histogram":
+            print(f"  {metric.name}{dict(metric.labels) or ''} "
+                  f"count={metric.count} sum={metric.sum:.4f}s")
+        else:
+            print(f"  {metric.name}{dict(metric.labels) or ''} = {metric.value:g}")
+    if args.json_out:
+        Path(args.json_out).write_text(obs.REGISTRY.to_json_text())
+        print(f"metrics JSON written to {args.json_out}")
+    if args.prom_out:
+        Path(args.prom_out).write_text(obs.REGISTRY.to_prometheus())
+        print(f"Prometheus text written to {args.prom_out}")
+    if args.telemetry_out:
+        print(f"telemetry JSONL ({telemetry.records_written} records) "
+              f"written to {args.telemetry_out}")
+    return 0
+
+
 def cmd_check(args) -> int:
     from .lint import main as lint_main
 
@@ -258,6 +319,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the slate/geo/relation serving caches")
     p.set_defaults(func=cmd_serve_bench, epochs=1)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a small instrumented train + serve pass and print the "
+             "span tree, per-op profile and metrics",
+    )
+    add_train_args(p)
+    # --data is optional here: without it a synthetic profile is generated.
+    for action in p._actions:
+        if action.dest == "data":
+            action.required = False
+            action.default = None
+    p.add_argument("--profile", dest="profile", choices=DATASET_NAMES,
+                   default="gowalla", help="synthetic dataset when --data is absent")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--candidates", type=int, default=100)
+    p.add_argument("--num-users", type=int, default=32)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--top-ops", type=int, default=15,
+                   help="rows in the per-op table (0 = all)")
+    p.add_argument("--json-out", help="write the metrics registry as JSON")
+    p.add_argument("--prom-out", help="write Prometheus exposition text")
+    p.add_argument("--telemetry-out", help="write training telemetry JSONL")
+    p.set_defaults(func=cmd_profile, epochs=1, quiet=True)
 
     p = sub.add_parser("check", help="run the repo-specific static lint pass")
     p.add_argument("paths", nargs="*", default=["src"])

@@ -17,6 +17,14 @@ Each gets an :class:`LRUCache` with hit/miss statistics; the
 check-in can surgically invalidate exactly the entries derived from
 that user's session (wired into ``RecommendationService.check_in``).
 
+Accounting lives in :mod:`repro.obs`: when the observability layer is
+enabled every hit / miss / eviction / invalidation also increments the
+global ``repro_cache_*_total`` counters (labelled by cache name), so
+cache behaviour shows up in the Prometheus/JSON exports next to span
+latencies.  :class:`CacheStats` remains as the per-instance view of
+the same events — the fuzz suite reconciles both surfaces against a
+ground-truth replay of the interleaving.
+
 Caching never changes results: slate keys include the session length,
 relation keys hash the sequence content, and geography entries are
 immutable — the batch-vs-single equivalence suite asserts bitwise
@@ -29,6 +37,9 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from ..obs import REGISTRY
+from ..obs import state as _obs
 
 __all__ = ["CacheStats", "LRUCache", "ServingCaches"]
 
@@ -71,6 +82,14 @@ class LRUCache:
     must not mutate what they ``get``.
     """
 
+    #: observability counter families, keyed by CacheStats field name.
+    _OBS_COUNTERS = {
+        "hits": "repro_cache_hits_total",
+        "misses": "repro_cache_misses_total",
+        "evictions": "repro_cache_evictions_total",
+        "invalidations": "repro_cache_invalidations_total",
+    }
+
     def __init__(self, maxsize: int = 1024, name: str = ""):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
@@ -80,6 +99,10 @@ class LRUCache:
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._owner_keys: Dict[Hashable, set] = {}
         self._key_owner: Dict[Hashable, Hashable] = {}
+
+    def _obs_inc(self, kind: str) -> None:
+        """Mirror one cache event into the global metrics registry."""
+        REGISTRY.counter(self._OBS_COUNTERS[kind], {"cache": self.name or "unnamed"}).inc()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -93,9 +116,13 @@ class LRUCache:
             value = self._data[key]
         except KeyError:
             self.stats.misses += 1
+            if _obs._enabled:
+                self._obs_inc("misses")
             return None
         self._data.move_to_end(key)
         self.stats.hits += 1
+        if _obs._enabled:
+            self._obs_inc("hits")
         return value
 
     def put(self, key: Hashable, value: Any, owner: Optional[Hashable] = None) -> None:
@@ -111,6 +138,8 @@ class LRUCache:
             old_key, _ = self._data.popitem(last=False)
             self._untag(old_key)
             self.stats.evictions += 1
+            if _obs._enabled:
+                self._obs_inc("evictions")
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; True when it existed."""
@@ -119,6 +148,8 @@ class LRUCache:
         del self._data[key]
         self._untag(key)
         self.stats.invalidations += 1
+        if _obs._enabled:
+            self._obs_inc("invalidations")
         return True
 
     def invalidate_owner(self, owner: Hashable) -> int:
@@ -130,6 +161,8 @@ class LRUCache:
             self._data.pop(key, None)
             self._key_owner.pop(key, None)
             self.stats.invalidations += 1
+            if _obs._enabled:
+                self._obs_inc("invalidations")
         return len(keys)
 
     def clear(self) -> None:

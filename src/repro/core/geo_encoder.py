@@ -28,6 +28,7 @@ from ..nn.attention import SelfAttention
 from ..nn.layers import Embedding, Linear
 from ..nn.module import Module
 from ..nn.tensor import Tensor, no_grad
+from ..obs import span
 
 
 class GeographyEncoder(Module):
@@ -83,24 +84,25 @@ class GeographyEncoder(Module):
 
         The padding POI (id 0) maps to the zero vector.
         """
-        ids = poi_ids.data if isinstance(poi_ids, Tensor) else np.asarray(poi_ids)
-        ids = ids.astype(np.int64)
-        grams = self.gram_ids[ids]                       # (..., G)
-        embedded = self.gram_embedding(grams)            # (..., G, dim)
-        if self.pooling == "attn":
-            flat = embedded.reshape(-1, grams.shape[-1], self.dim)
-            flat = self.attn(flat)
-            embedded = flat.reshape(*grams.shape, self.dim)
-        # Mean over real (non-PAD) n-grams.
-        real = (grams != QuadkeyVocab.PAD).astype(np.float32)
-        counts = np.maximum(real.sum(axis=-1, keepdims=True), 1.0)
-        pooled = (embedded * Tensor(real[..., None])).sum(axis=-2) * Tensor(1.0 / counts)
-        out = self.project(pooled)
-        # Keep padding POIs exactly zero (project bias would leak otherwise).
-        pad = (ids == 0)
-        if pad.any():
-            out = out.masked_fill(pad[..., None], 0.0)
-        return out
+        with span("model.geo_encode"):
+            ids = poi_ids.data if isinstance(poi_ids, Tensor) else np.asarray(poi_ids)
+            ids = ids.astype(np.int64)
+            grams = self.gram_ids[ids]                       # (..., G)
+            embedded = self.gram_embedding(grams)            # (..., G, dim)
+            if self.pooling == "attn":
+                flat = embedded.reshape(-1, grams.shape[-1], self.dim)
+                flat = self.attn(flat)
+                embedded = flat.reshape(*grams.shape, self.dim)
+            # Mean over real (non-PAD) n-grams.
+            real = (grams != QuadkeyVocab.PAD).astype(np.float32)
+            counts = np.maximum(real.sum(axis=-1, keepdims=True), 1.0)
+            pooled = (embedded * Tensor(real[..., None])).sum(axis=-2) * Tensor(1.0 / counts)
+            out = self.project(pooled)
+            # Keep padding POIs exactly zero (project bias would leak otherwise).
+            pad = (ids == 0)
+            if pad.any():
+                out = out.masked_fill(pad[..., None], 0.0)
+            return out
 
     def encode_pois_cached(self, poi_ids, cache) -> np.ndarray:
         """Geography vectors via a per-POI LRU cache (serving path).
@@ -111,6 +113,10 @@ class GeographyEncoder(Module):
         and a per-row linear projection), cache the row, and gather.
         Returns a raw ``(..., dim)`` float32 array (no autograd graph).
         """
+        with span("model.geo_encode_cached"):
+            return self._encode_pois_cached(poi_ids, cache)
+
+    def _encode_pois_cached(self, poi_ids, cache) -> np.ndarray:
         ids = poi_ids.data if isinstance(poi_ids, Tensor) else np.asarray(poi_ids)
         ids = ids.astype(np.int64)
         flat = ids.reshape(-1)

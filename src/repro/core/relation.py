@@ -26,6 +26,8 @@ import numpy as np
 
 from ..data.types import SECONDS_PER_DAY
 from ..geo.haversine import haversine
+from ..obs import REGISTRY
+from ..obs import state as _obs
 
 
 @dataclass(frozen=True)
@@ -140,6 +142,7 @@ def build_relation_matrix_cached(
     if owners is not None and len(owners) != times.shape[0]:
         owners = None  # a mismatched tag list is ignored, never misapplied
     rows = []
+    computed = 0
     for i in range(times.shape[0]):
         pad_row = None if pad_mask is None else np.asarray(pad_mask, dtype=bool)[i]
         key = relation_row_key(times[i], coords[i], config, pad_row)
@@ -152,7 +155,11 @@ def build_relation_matrix_cached(
                 pad_mask=None if pad_row is None else pad_row[None, :],
             )[0]
             cache.put(key, matrix, owner=None if owners is None else owners[i])
+            computed += 1
         rows.append(matrix)
+    if _obs._enabled:
+        REGISTRY.counter("repro_relation_rows_total").inc(times.shape[0])
+        REGISTRY.counter("repro_relation_rows_computed_total").inc(computed)
     return np.stack(rows)
 
 

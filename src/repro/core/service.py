@@ -22,6 +22,12 @@ per-sequence relation matrices; ``check_in`` invalidates the user's
 session-derived entries, and slate keys additionally include the
 session length so a stale slate is unrepresentable even if the cache
 is never invalidated.
+
+Both paths are instrumented with :mod:`repro.obs` spans (slate build,
+batch preparation, model forward, ranking) and request/padding-waste
+counters.  With observability disabled (the default) each stage pays a
+single no-op context-manager call, and outputs are bitwise identical
+either way — ``tests/test_obs_properties.py`` enforces both claims.
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ from ..data.types import PAD_POI, CheckInDataset
 from ..geo.haversine import haversine
 from ..geo.neighbors import PoiIndex
 from ..nn.tensor import no_grad
+from ..obs import REGISTRY, span
+from ..obs import state as _obs
 from .cache import ServingCaches
 
 
@@ -128,6 +136,8 @@ class RecommendationService:
         if not 1 <= poi <= self.dataset.num_pois:
             raise ValueError(f"unknown POI id {poi}")
         self.session(user).append(poi, timestamp)
+        if _obs._enabled:
+            REGISTRY.counter("repro_checkins_total").inc()
         if self.caches is not None:
             self.caches.invalidate_user(user)
 
@@ -228,13 +238,20 @@ class RecommendationService:
         current location (mirroring the evaluation protocol); pass an
         explicit list to re-rank an external slate instead.
         """
-        session = self._require_session(user)
-        slate = self._resolve_slate(session, exclude_visited, candidates)
-        if slate.size == 0:
-            return []
-        src, times = self._query_arrays(session)
-        scores = self._score(src[None, :], times[None, :], slate[None, :], [user])[0]
-        return self._package(session, slate, scores, k)
+        with span("service.recommend"):
+            if _obs._enabled:
+                REGISTRY.counter("repro_requests_total", {"path": "recommend"}).inc()
+                REGISTRY.counter("repro_queries_total", {"path": "recommend"}).inc()
+            session = self._require_session(user)
+            with span("service.slate"):
+                slate = self._resolve_slate(session, exclude_visited, candidates)
+            if slate.size == 0:
+                return []
+            src, times = self._query_arrays(session)
+            with span("service.model_forward"):
+                scores = self._score(src[None, :], times[None, :], slate[None, :], [user])[0]
+            with span("service.rank"):
+                return self._package(session, slate, scores, k)
 
     def recommend_batch(
         self,
@@ -260,32 +277,49 @@ class RecommendationService:
             raise ValueError(
                 f"candidates must align with users: {len(candidates)} != {len(users)}"
             )
-        sessions = [self._require_session(u) for u in users]
-        slates = [
-            self._resolve_slate(
-                session, exclude_visited, None if candidates is None else candidates[i]
-            )
-            for i, session in enumerate(sessions)
-        ]
-        results: List[List[Recommendation]] = [[] for _ in users]
-        live = [i for i, slate in enumerate(slates) if slate.size > 0]
-        if not live:
-            return results
+        with span("service.recommend_batch"):
+            if _obs._enabled:
+                REGISTRY.counter("repro_requests_total", {"path": "recommend_batch"}).inc()
+                REGISTRY.counter("repro_queries_total", {"path": "recommend_batch"}).inc(
+                    len(users)
+                )
+            sessions = [self._require_session(u) for u in users]
+            with span("service.slate"):
+                slates = [
+                    self._resolve_slate(
+                        session, exclude_visited, None if candidates is None else candidates[i]
+                    )
+                    for i, session in enumerate(sessions)
+                ]
+            results: List[List[Recommendation]] = [[] for _ in users]
+            live = [i for i, slate in enumerate(slates) if slate.size > 0]
+            if not live:
+                return results
 
-        width = max(len(slates[i]) for i in live)
-        batch_slates = np.stack([
-            np.concatenate([
-                slates[i],
-                np.full(width - len(slates[i]), slates[i][-1], dtype=np.int64),
-            ])
-            for i in live
-        ])
-        prepared = [self._query_arrays(sessions[i]) for i in live]
-        src = np.stack([p[0] for p in prepared])
-        times = np.stack([p[1] for p in prepared])
-        scores = self._score(src, times, batch_slates, [users[i] for i in live])
-        for row, i in enumerate(live):
-            results[i] = self._package(
-                sessions[i], slates[i], scores[row, : len(slates[i])], k
-            )
-        return results
+            with span("service.prepare"):
+                width = max(len(slates[i]) for i in live)
+                batch_slates = np.stack([
+                    np.concatenate([
+                        slates[i],
+                        np.full(width - len(slates[i]), slates[i][-1], dtype=np.int64),
+                    ])
+                    for i in live
+                ])
+                prepared = [self._query_arrays(sessions[i]) for i in live]
+                src = np.stack([p[0] for p in prepared])
+                times = np.stack([p[1] for p in prepared])
+            if _obs._enabled:
+                # Padding waste of the ragged-slate stack: filler slots
+                # scored but sliced off before ranking.
+                REGISTRY.counter("repro_batch_slate_slots_total").inc(width * len(live))
+                REGISTRY.counter("repro_batch_slate_pad_slots_total").inc(
+                    sum(width - len(slates[i]) for i in live)
+                )
+            with span("service.model_forward"):
+                scores = self._score(src, times, batch_slates, [users[i] for i in live])
+            with span("service.rank"):
+                for row, i in enumerate(live):
+                    results[i] = self._package(
+                        sessions[i], slates[i], scores[row, : len(slates[i])], k
+                    )
+            return results

@@ -26,6 +26,7 @@ from ..data.types import PAD_POI
 from ..nn.layers import Dropout, Embedding, LayerNorm
 from ..nn.module import Module, ModuleList
 from ..nn.tensor import Tensor, concatenate
+from ..obs import span
 from .cache import ServingCaches
 from .config import STiSANConfig
 from .geo_encoder import GeographyEncoder
@@ -150,35 +151,38 @@ class STiSAN(Module):
         # Sinusoidal codes (TAPE or vanilla PE) have unit-scale
         # components; rescale the small-init embeddings before adding
         # them (the usual Transformer ×sqrt(d) trick).
-        e = self.embed(src) * np.float32(np.sqrt(self.config.dim))
-        e = e + Tensor(self.position_encoder(times, pad_mask=pad))
-        # Padding rows stay exactly zero.
-        e = e.masked_fill(pad[..., None], 0.0)
-        e = self.embed_dropout(e)
+        with span("model.embed"):
+            e = self.embed(src) * np.float32(np.sqrt(self.config.dim))
+            e = e + Tensor(self.position_encoder(times, pad_mask=pad))
+            # Padding rows stay exactly zero.
+            e = e.masked_fill(pad[..., None], 0.0)
+            e = self.embed_dropout(e)
 
         attend_mask = self._attend_mask(pad, n)
         relation_bias = None
         if self.config.use_relation:
-            coords = self.poi_coords[src]
-            caches = self._active_caches()
-            if caches is not None:
-                relation = build_relation_matrix_cached(
-                    times, coords, self.config.relation, pad,
-                    caches.relations, owners=caches.row_owners,
-                )
-            else:
-                relation = build_relation_matrix(
-                    times, coords, config=self.config.relation, pad_mask=pad
-                )
-            relation_bias = scaled_relation_bias(relation, attend_mask)
+            with span("model.relation_build"):
+                coords = self.poi_coords[src]
+                caches = self._active_caches()
+                if caches is not None:
+                    relation = build_relation_matrix_cached(
+                        times, coords, self.config.relation, pad,
+                        caches.relations, owners=caches.row_owners,
+                    )
+                else:
+                    relation = build_relation_matrix(
+                        times, coords, config=self.config.relation, pad_mask=pad
+                    )
+                relation_bias = scaled_relation_bias(relation, attend_mask)
 
         weights_per_block: List[np.ndarray] = []
-        for block in self.blocks:
-            if return_weights:
-                e, w = block(e, relation_bias, attend_mask, return_weights=True)
-                weights_per_block.append(w)
-            else:
-                e = block(e, relation_bias, attend_mask)
+        with span("model.attention"):
+            for block in self.blocks:
+                if return_weights:
+                    e, w = block(e, relation_bias, attend_mask, return_weights=True)
+                    weights_per_block.append(w)
+                else:
+                    e = block(e, relation_bias, attend_mask)
         e = self.final_norm(e)
         e = e.masked_fill(pad[..., None], 0.0)
         if return_weights:

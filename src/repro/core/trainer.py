@@ -1,4 +1,12 @@
-"""Training loop for STiSAN (and API-compatible neural baselines)."""
+"""Training loop for STiSAN (and API-compatible neural baselines).
+
+Instrumented with :mod:`repro.obs`: ``train.epoch`` / ``train.batch`` /
+``train.forward`` / ``train.backward`` / ``train.step`` spans, the
+``repro_train_*`` metrics, and an optional JSONL telemetry sink whose
+stream (loss curve, step counts) is deterministic for a fixed seed
+modulo the timestamp field — ``tests/test_obs_telemetry.py`` replays
+two seeded runs and diffs them to catch nondeterminism regressions.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +20,8 @@ from ..data.negatives import NearestNegativeSampler
 from ..data.sequences import EvalExample, SequenceExample
 from ..data.types import CheckInDataset
 from ..nn.optim import Adam
+from ..obs import REGISTRY, TelemetrySink, span
+from ..obs import state as _obs
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .loss import weighted_bce_loss
@@ -41,6 +51,7 @@ def train_stisan(
     validation: Optional[List[EvalExample]] = None,
     patience: int = 3,
     num_candidates: int = 100,
+    telemetry: Optional[TelemetrySink] = None,
 ) -> TrainResult:
     """Optimize ``model`` on the given training windows.
 
@@ -51,6 +62,10 @@ def train_stisan(
     :func:`repro.core.early_stopping.validation_split`), NDCG@10 is
     evaluated each epoch, training stops after ``patience`` epochs
     without improvement, and the best snapshot is restored.
+
+    ``telemetry`` (optional) receives one JSONL record per batch and
+    per epoch; for a fixed config/seed the stream is identical between
+    runs except for timestamps.
     """
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
@@ -63,28 +78,59 @@ def train_stisan(
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     result = TrainResult()
     stopper = EarlyStopping(patience=patience) if validation else None
+    if telemetry is not None:
+        telemetry.emit(
+            "train_start",
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            num_negatives=config.num_negatives,
+            temperature=config.temperature,
+            seed=config.seed,
+            num_examples=len(examples),
+        )
 
+    global_step = 0
     model.train()
     for epoch in range(config.epochs):
-        iterator = BatchIterator(
-            examples, batch_size=config.batch_size, sampler=sampler, rng=rng
-        )
-        epoch_loss = 0.0
-        num_batches = 0
-        for batch in iterator:
-            pos, neg = model.forward_train(batch.src, batch.times, batch.tgt, batch.negatives)
-            loss = weighted_bce_loss(
-                pos, neg, batch.target_mask, temperature=config.temperature
+        with span("train.epoch"):
+            iterator = BatchIterator(
+                examples, batch_size=config.batch_size, sampler=sampler, rng=rng
             )
-            optimizer.zero_grad()
-            loss.backward()
-            if config.grad_clip:
-                optimizer.clip_grad_norm(config.grad_clip)
-            optimizer.step()
-            epoch_loss += float(loss.data)
-            num_batches += 1
+            epoch_loss = 0.0
+            num_batches = 0
+            for batch in iterator:
+                with span("train.batch"):
+                    with span("train.forward"):
+                        pos, neg = model.forward_train(
+                            batch.src, batch.times, batch.tgt, batch.negatives
+                        )
+                        loss = weighted_bce_loss(
+                            pos, neg, batch.target_mask, temperature=config.temperature
+                        )
+                    optimizer.zero_grad()
+                    with span("train.backward"):
+                        loss.backward()
+                    with span("train.step"):
+                        if config.grad_clip:
+                            optimizer.clip_grad_norm(config.grad_clip)
+                        optimizer.step()
+                batch_loss = float(loss.data)
+                epoch_loss += batch_loss
+                num_batches += 1
+                global_step += 1
+                if _obs._enabled:
+                    REGISTRY.counter("repro_train_batches_total").inc()
+                    REGISTRY.gauge("repro_train_loss").set(batch_loss)
+                if telemetry is not None:
+                    telemetry.emit("batch", epoch=epoch, step=global_step, loss=batch_loss)
         mean_loss = epoch_loss / max(num_batches, 1)
         result.epoch_losses.append(mean_loss)
+        if _obs._enabled:
+            REGISTRY.counter("repro_train_epochs_total").inc()
+            REGISTRY.gauge("repro_train_epoch_loss").set(mean_loss)
+        if telemetry is not None:
+            telemetry.emit("epoch", epoch=epoch, batches=num_batches, mean_loss=mean_loss)
         if config.verbose:
             print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
         if on_epoch_end is not None:
@@ -93,9 +139,12 @@ def train_stisan(
             from ..eval.protocol import evaluate  # repro-lint: disable=REPRO-HOTIMPORT -- breaks the core<->eval import cycle; runs once per epoch, not per query
 
             model.eval()
-            report = evaluate(model, dataset, validation, num_candidates=num_candidates)
+            with span("train.validate"):
+                report = evaluate(model, dataset, validation, num_candidates=num_candidates)
             model.train()
             result.validation_metrics.append(report.ndcg10)
+            if telemetry is not None:
+                telemetry.emit("validation", epoch=epoch, ndcg10=float(report.ndcg10))
             if config.verbose:
                 print(f"  validation NDCG@10={report.ndcg10:.4f}")
             if stopper.update(epoch, report.ndcg10, model=model):
@@ -105,4 +154,13 @@ def train_stisan(
         stopper.restore_best(model)
         result.best_epoch = stopper.best_epoch
     model.eval()
+    if telemetry is not None:
+        telemetry.emit(
+            "train_end",
+            epochs_run=len(result.epoch_losses),
+            steps=global_step,
+            stopped_early=result.stopped_early,
+            best_epoch=result.best_epoch,
+            final_loss=result.final_loss,
+        )
     return result

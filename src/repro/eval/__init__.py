@@ -15,8 +15,10 @@ from .flops import FlopsBreakdown, attention_encoder_flops, compare_sa_iaab, par
 from .latency import (
     BatchSweepPoint,
     LatencyReport,
+    ObsOverheadReport,
     compare_latency,
     format_batch_sweep,
+    measure_observability_overhead,
     measure_scoring_latency,
     sweep_service_batches,
 )
@@ -64,6 +66,8 @@ __all__ = [
     "BatchSweepPoint",
     "sweep_service_batches",
     "format_batch_sweep",
+    "ObsOverheadReport",
+    "measure_observability_overhead",
     "ExperimentRecord",
     "ResultsStore",
     "grid_search",

@@ -15,6 +15,8 @@ REPRO-RNG        no global numpy RNG; inject a ``np.random.Generator``
 REPRO-F64        no float64 leaks into the differentiable substrate
 REPRO-MUT        no external mutation of ``Tensor.data`` in op code
 REPRO-HOTIMPORT  no function-body imports in hot-path modules
+REPRO-OBS        no raw time.perf_counter in core//eval/; go through
+                 repro.obs (Stopwatch / span) instead
 REPRO-SUP        suppression comments must carry a justification
 ==============   ======================================================
 """
@@ -403,6 +405,68 @@ class NoHotPathFunctionImportRule:
                             "every call in a hot path; move it to module "
                             "scope (or suppress with a justification if it "
                             "breaks an import cycle)",
+                        )
+                    )
+        return findings
+
+
+@register
+class NoRawPerfCounterRule:
+    rule_id = "REPRO-OBS"
+    description = (
+        "Raw time.perf_counter() in core//eval/ bypasses the repro.obs "
+        "timing layer; use Stopwatch or span() so timings land in the "
+        "metrics/trace exports (repro.obs itself is the one home for "
+        "the primitive)."
+    )
+
+    #: Directories whose timing must flow through repro.obs.
+    TIMED_DIRS = frozenset({"core", "eval"})
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        parts = module.path.parts
+        if "obs" in parts:
+            return False
+        return any(part in self.TIMED_DIRS for part in parts)
+
+    @staticmethod
+    def _time_aliases(tree: ast.Module) -> set:
+        """Local names bound to the ``time`` module."""
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        aliases.add(alias.asname or "time")
+        return aliases
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        aliases = self._time_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "perf_counter":
+                        findings.append(
+                            _finding(
+                                module, node, self.rule_id,
+                                "import of time.perf_counter outside repro.obs; "
+                                "use repro.obs.Stopwatch or span() so the "
+                                "timing reaches the metrics/trace exports",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                head, _, rest = name.partition(".")
+                if head in aliases and rest == "perf_counter":
+                    findings.append(
+                        _finding(
+                            module, node, self.rule_id,
+                            f"raw {name}() call outside repro.obs; use "
+                            "repro.obs.Stopwatch or span() so the timing "
+                            "reaches the metrics/trace exports",
                         )
                     )
         return findings

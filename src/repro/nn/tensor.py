@@ -21,6 +21,7 @@ Design notes
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -30,6 +31,22 @@ from . import anomaly as _anomaly
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
+
+#: Op-level profiler hook (installed by ``repro.obs.opprof.op_profile``).
+#: Like anomaly mode, the disabled path is a single predicted branch.
+_op_profiler = None
+
+
+def set_op_profiler(profiler):
+    """Install (or clear, with None) the op-boundary profiler hook.
+
+    Returns the previously installed hook so callers can restore it —
+    ``repro.obs.opprof.op_profile`` is the only intended caller.
+    """
+    global _op_profiler
+    previous = _op_profiler
+    _op_profiler = profiler
+    return previous
 
 
 class no_grad:
@@ -186,6 +203,8 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if _op_profiler is not None:
+            _op_profiler.on_forward(backward)
         if _anomaly._enabled:
             _anomaly.check_forward(data, backward, parents)
         requires = _grad_enabled and any(p.requires_grad for p in parents)
@@ -241,6 +260,7 @@ class Tensor:
                     stack.append((parent, False))
 
         anomaly_on = _anomaly._enabled
+        profiler = _op_profiler
         if anomaly_on and not np.isfinite(grad).all():
             raise _anomaly.AnomalyError(
                 "<backward seed>", "backward", "seed gradient contains NaN/Inf"
@@ -250,7 +270,12 @@ class Tensor:
             if node._backward is not None and node.grad is not None:
                 if anomaly_on:
                     _anomaly.check_versions(node)
-                node._backward(node.grad)
+                if profiler is not None:
+                    t0 = _perf_counter()
+                    node._backward(node.grad)
+                    profiler.record_backward(node._backward, _perf_counter() - t0)
+                else:
+                    node._backward(node.grad)
                 if anomaly_on:
                     _anomaly.check_backward(node)
 

@@ -1,0 +1,83 @@
+"""``repro.obs`` — the observability layer: metrics, spans, op-level
+profiling and JSONL telemetry.
+
+Everything is off by default behind one module-level switch
+(``REPRO_OBS=1`` / :func:`enable` / ``with observability():``); the
+instrumented hot paths pay a single predicted branch when disabled.
+See the README "Observability" section for the tour and
+``repro profile`` for the all-in-one CLI entry point.
+
+- :mod:`repro.obs.state` — enable switch, :class:`Stopwatch`.
+- :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket
+  histograms, JSON + Prometheus text export (and parsers for both).
+- :mod:`repro.obs.spans` — nestable ``span("name")`` trace trees.
+- :mod:`repro.obs.opprof` — per-op forward/backward attribution on the
+  autograd op boundary.
+- :mod:`repro.obs.telemetry` — append-only JSONL run logs.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .opprof import OpProfile, OpStat, op_profile
+from .spans import (
+    SpanAggregate,
+    SpanRecord,
+    aggregate_trace,
+    clear_trace,
+    render_trace,
+    span,
+    trace,
+    validate_trace,
+    walk_spans,
+)
+from .state import Stopwatch, disable, enable, is_enabled, observability, perf_counter
+from .telemetry import TIMESTAMP_FIELD, TelemetrySink, read_telemetry, strip_timestamps
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "observability",
+    "Stopwatch",
+    "perf_counter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "parse_prometheus",
+    "span",
+    "SpanRecord",
+    "trace",
+    "clear_trace",
+    "walk_spans",
+    "validate_trace",
+    "SpanAggregate",
+    "aggregate_trace",
+    "render_trace",
+    "OpProfile",
+    "OpStat",
+    "op_profile",
+    "TelemetrySink",
+    "read_telemetry",
+    "strip_timestamps",
+    "TIMESTAMP_FIELD",
+]
+
+
+def reset() -> None:
+    """Clear all recorded observability state (metrics and traces).
+
+    Used by tests and the ``repro profile`` CLI to start from a clean
+    slate; does not touch the enable switch.
+    """
+    REGISTRY.reset()
+    clear_trace()

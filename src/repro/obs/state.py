@@ -1,0 +1,102 @@
+"""The observability enable switch and the shared timing primitives.
+
+Everything in :mod:`repro.obs` is **off by default**: hot paths pay a
+single predicted ``if _enabled`` branch (or one no-op context-manager
+call) per instrumentation point, mirroring how
+:mod:`repro.nn.anomaly` gates its checks.  The switch is module-level
+global state — the serving and training loops are single-threaded, and
+one global keeps the disabled-path cost at a plain attribute load.
+
+Enable it three ways:
+
+- ``REPRO_OBS=1`` in the environment guards a whole process;
+- :func:`enable` / :func:`disable` from code;
+- ``with observability():`` scoped, re-entrant.
+
+:class:`Stopwatch` is the sanctioned wall-clock primitive for
+measurement code in ``core/`` and ``eval/`` — the ``REPRO-OBS`` lint
+rule forbids calling ``time.perf_counter()`` directly there, so every
+timing site is findable in one grep and benchmarks share one clock.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "observability",
+    "Stopwatch",
+    "perf_counter",
+]
+
+#: Module-level flag read directly (as ``state._enabled``) by hot paths.
+_enabled: bool = os.environ.get("REPRO_OBS", "").strip() not in ("", "0", "false")
+
+
+def enable() -> None:
+    """Turn the observability layer on (metrics + spans)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the observability layer off (hot paths pay one branch)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """True when metrics and spans are currently being recorded."""
+    return _enabled
+
+
+class observability:
+    """Context manager scoping the enable switch (re-entrant).
+
+    >>> with observability():
+    ...     service.recommend_batch(users)
+    >>> with observability(enabled=False):
+    ...     pass  # force-disable inside an enabled region
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._target = enabled
+
+    def __enter__(self):
+        global _enabled
+        self._prev = _enabled
+        _enabled = self._target
+        return self
+
+    def __exit__(self, *exc):
+        global _enabled
+        _enabled = self._prev
+        return False
+
+
+class Stopwatch:
+    """Measure the wall time of a ``with`` block (always on).
+
+    >>> with Stopwatch() as sw:
+    ...     work()
+    >>> sw.elapsed  # seconds
+
+    Unlike :func:`repro.obs.spans.span` this records nothing globally;
+    it exists so measurement code (latency sweeps, benchmarks) routes
+    through the shared layer instead of scattering raw clock calls.
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __enter__(self) -> "Stopwatch":
+        self.elapsed = 0.0
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = perf_counter() - self.start
+        return False

@@ -1,0 +1,82 @@
+"""JSONL telemetry sink for post-hoc analysis of training/serving runs.
+
+One record per line, each a flat JSON object with sorted keys.  The
+wall-clock timestamp lives in a single reserved field (``"ts"``) so the
+rest of every record is a pure function of the run — the
+deterministic-telemetry test replays two seeded trainings and asserts
+the streams are identical modulo that field, catching nondeterminism
+regressions in the training loop.
+
+The sink is always explicit (you pass one in); it does not consult the
+observability enable switch, because writing a telemetry file is an
+opt-in side effect rather than ambient instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+__all__ = ["TelemetrySink", "read_telemetry", "strip_timestamps", "TIMESTAMP_FIELD"]
+
+#: The one field allowed to differ between otherwise-identical runs.
+TIMESTAMP_FIELD = "ts"
+
+
+class TelemetrySink:
+    """Append-only JSONL writer with a deterministic payload contract.
+
+    Parameters
+    ----------
+    path : destination file (parent directories are created).
+    clock : timestamp source; injectable so tests can pin it.
+    """
+
+    def __init__(self, path: Union[str, Path], clock=time.time):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._file: Optional[IO[str]] = self.path.open("a", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, event: str, /, **fields) -> dict:
+        """Write one record; returns the record as written (with ts)."""
+        if self._file is None:
+            raise ValueError(f"telemetry sink {self.path} is closed")
+        if TIMESTAMP_FIELD in fields or "event" in fields:
+            raise ValueError(f"'{TIMESTAMP_FIELD}'/'event' are reserved field names")
+        record = {"event": event, TIMESTAMP_FIELD: self._clock(), **fields}
+        self._file.write(json.dumps(record, sort_keys=True, allow_nan=True) + "\n")
+        self._file.flush()
+        self.records_written += 1
+        return record
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TelemetrySink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def read_telemetry(path: Union[str, Path]) -> List[dict]:
+    """Load every record of a JSONL telemetry file."""
+    records = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def strip_timestamps(records: Iterator[dict]) -> List[dict]:
+    """Records with the reserved timestamp field removed (for diffing)."""
+    return [{k: v for k, v in record.items() if k != TIMESTAMP_FIELD} for record in records]

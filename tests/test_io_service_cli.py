@@ -270,3 +270,40 @@ class TestCLI:
     def test_unsupported_format(self, tmp_path):
         with pytest.raises(SystemExit):
             cli_main(["stats", "--data", str(tmp_path / "x.parquet")])
+
+    def test_profile_prints_spans_ops_and_writes_exports(self, tmp_path, capsys):
+        """Acceptance: ``repro profile`` shows the span tree with per-op
+        forward/backward attribution, and its exports round-trip."""
+        import json
+
+        from repro.obs import MetricsRegistry, parse_prometheus, read_telemetry
+
+        json_out = tmp_path / "metrics.json"
+        prom_out = tmp_path / "metrics.prom"
+        tel_out = tmp_path / "telemetry.jsonl"
+        data = tmp_path / "ds.npz"
+        cli_main(["generate", "--profile", "changchun", "--scale", "0.15",
+                  "--seed", "2", "--out", str(data)])
+        capsys.readouterr()
+        assert cli_main([
+            "profile", "--data", str(data), "--epochs", "1",
+            "--max-len", "8", "--dim", "16", "--num-users", "6",
+            "--json-out", str(json_out), "--prom-out", str(prom_out),
+            "--telemetry-out", str(tel_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        # Span tree: training and serving stages, nested.
+        for name in ("train.epoch", "train.batch", "train.forward",
+                     "train.backward", "service.recommend_batch",
+                     "service.model_forward"):
+            assert name in out, f"{name} missing from span tree:\n{out}"
+        # Per-op attribution table.
+        assert "fwd total" in out and "bwd total" in out
+        assert "matmul" in out and "TOTAL" in out
+        # Exports exist and parse back.
+        registry = MetricsRegistry.from_json(json.loads(json_out.read_text()))
+        assert registry.value("repro_train_epochs_total") == 1
+        samples = parse_prometheus(prom_out.read_text())
+        assert ("repro_train_epochs_total", ()) in samples
+        events = [r["event"] for r in read_telemetry(tel_out)]
+        assert events[0] == "train_start" and events[-1] == "train_end"

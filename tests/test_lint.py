@@ -282,6 +282,67 @@ class TestHotPathImports:
         assert lint_paths([path]) == []
 
 
+class TestRawPerfCounter:
+    def test_time_perf_counter_call_flagged_in_core(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import time\n\ndef f():\n    return time.perf_counter()\n",
+            rel="src/repro/core/scratch.py",
+        )
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-OBS"}
+        assert "perf_counter" in findings[0].message
+
+    def test_aliased_module_call_flagged_in_eval(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import time as clock\nx = clock.perf_counter()\n",
+            rel="src/repro/eval/scratch.py",
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-OBS"}
+
+    def test_from_import_flagged(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "from time import perf_counter\n",
+            rel="src/repro/core/scratch.py",
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-OBS"}
+
+    def test_obs_package_exempt(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "from time import perf_counter\n",
+            rel="src/repro/obs/scratch.py",
+        )
+        assert lint_paths([path]) == []
+
+    def test_nn_and_tooling_exempt(self, tmp_path):
+        source = "import time\nx = time.perf_counter()\n"
+        for rel in ("src/repro/nn/scratch.py", "src/repro/analysis/scratch.py"):
+            path = write_scratch(tmp_path, source, rel=rel)
+            assert lint_paths([path]) == [], rel
+
+    def test_time_time_not_flagged(self, tmp_path):
+        """Only perf_counter is claimed by the obs layer; wall-clock
+        time.time() (telemetry timestamps, ETAs) stays allowed."""
+        path = write_scratch(
+            tmp_path,
+            "import time\nx = time.time()\n",
+            rel="src/repro/core/scratch.py",
+        )
+        assert lint_paths([path]) == []
+
+    def test_justified_suppression_honored(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import time\n"
+            "x = time.perf_counter()  # repro-lint: disable=REPRO-OBS -- calibration fixture\n",
+            rel="src/repro/eval/scratch.py",
+        )
+        assert lint_paths([path]) == []
+
+
 class TestSuppressions:
     def test_justified_suppression_silences(self, tmp_path):
         path = write_scratch(

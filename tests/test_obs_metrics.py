@@ -1,0 +1,205 @@
+"""Unit tests for ``repro.obs.metrics``.
+
+Covers the counter/gauge/histogram semantics, label normalization and
+escaping, registry conflict detection, and — the acceptance criterion —
+lossless round-trips of both export formats: JSON via ``from_json`` and
+Prometheus exposition text via ``parse_prometheus``.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry, parse_prometheus
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("reqs_total")
+        c.inc()
+        c.inc(2.5)
+        assert registry.value("reqs_total") == 3.5
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("reqs_total").inc(-1)
+
+    def test_same_name_same_labels_is_same_object(self, registry):
+        a = registry.counter("c", {"k": "v"})
+        b = registry.counter("c", {"k": "v"})
+        assert a is b
+
+    def test_label_order_is_normalized(self, registry):
+        a = registry.counter("c", {"a": "1", "b": "2"})
+        b = registry.counter("c", {"b": "2", "a": "1"})
+        assert a is b
+
+    def test_distinct_labels_are_distinct_children(self, registry):
+        registry.counter("c", {"k": "x"}).inc()
+        registry.counter("c", {"k": "y"}).inc(5)
+        assert registry.value("c", {"k": "x"}) == 1
+        assert registry.value("c", {"k": "y"}) == 5
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert registry.value("depth") == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]  # <=0.1, <=1.0, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+
+    def test_cumulative_ends_with_inf(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.5)
+        cum = h.cumulative()
+        assert cum == [(0.1, 0), (1.0, 1), (math.inf, 1)]
+
+    def test_boundary_value_counts_in_its_bucket(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(1.0)  # le="1.0" is inclusive in Prometheus
+        assert h.cumulative()[0] == (1.0, 1)
+
+    def test_unsorted_buckets_are_sorted(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 0.1, 0.5))
+        assert h.buckets == (0.1, 0.5, 1.0)
+
+    def test_empty_or_inf_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("b", buckets=(1.0, math.inf))
+
+    def test_bucket_respec_rejected(self, registry):
+        registry.histogram("lat", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("lat", {"k": "v"}, buckets=(0.2, 2.0))
+
+    def test_default_buckets_are_sorted_and_finite(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(math.isfinite(b) for b in DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok", {"bad-label": "v"})
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.value("x") is None
+        registry.gauge("x")  # no kind conflict after reset
+
+    def test_collect_is_sorted(self, registry):
+        registry.counter("b")
+        registry.counter("a", {"z": "1"})
+        registry.counter("a", {"a": "1"})
+        names = [(m.name, m.labels) for m in registry.collect()]
+        assert names == sorted(names)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", {"path": "recommend"}).inc(3)
+    registry.counter("repro_requests_total", {"path": "recommend_batch"}).inc(7)
+    registry.counter("plain_total").inc(1.5)
+    registry.gauge("repro_train_loss").set(0.6931)
+    g = registry.gauge("tricky", {"msg": 'a "quoted"\nback\\slash'})
+    g.set(-2)
+    h = registry.histogram("repro_span_seconds", {"span": "train.batch"},
+                           buckets=(0.001, 0.1, 1.0))
+    for v in (0.0005, 0.05, 0.05, 3.0):
+        h.observe(v)
+    return registry
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_lossless(self):
+        original = populated_registry()
+        rebuilt = MetricsRegistry.from_json(original.to_json())
+        assert rebuilt.to_json() == original.to_json()
+        assert rebuilt.to_json_text() == original.to_json_text()
+
+    def test_round_trip_preserves_histogram_state(self):
+        rebuilt = MetricsRegistry.from_json(populated_registry().to_json())
+        h = rebuilt.histogram("repro_span_seconds", {"span": "train.batch"},
+                              buckets=(0.001, 0.1, 1.0))
+        assert h.counts == [1, 2, 0, 1]
+        assert h.count == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_json(
+                {"metrics": [{"name": "x", "kind": "summary", "labels": {}, "value": 1}]}
+            )
+
+
+class TestPrometheusRoundTrip:
+    def test_export_parses_back_to_the_same_samples(self):
+        """Acceptance criterion: exposition text survives a parse."""
+        registry = populated_registry()
+        samples = parse_prometheus(registry.to_prometheus())
+        # Scalar samples carry the exact values.
+        assert samples[("repro_requests_total", (("path", "recommend"),))] == 3
+        assert samples[("plain_total", ())] == 1.5
+        assert samples[("repro_train_loss", ())] == pytest.approx(0.6931)
+        # Histogram explodes into cumulative buckets + sum + count.
+        le = lambda bound: (("le", bound), ("span", "train.batch"))  # noqa: E731
+        assert samples[("repro_span_seconds_bucket", le("0.001"))] == 1
+        assert samples[("repro_span_seconds_bucket", le("0.1"))] == 3
+        assert samples[("repro_span_seconds_bucket", le("1.0"))] == 3
+        assert samples[("repro_span_seconds_bucket", le("+Inf"))] == 4
+        assert samples[("repro_span_seconds_count", (("span", "train.batch"),))] == 4
+        assert samples[("repro_span_seconds_sum", (("span", "train.batch"),))] == (
+            pytest.approx(3.1005)
+        )
+
+    def test_label_escaping_round_trips(self):
+        samples = parse_prometheus(populated_registry().to_prometheus())
+        key = ("tricky", (("msg", 'a "quoted"\nback\\slash'),))
+        assert samples[key] == -2
+
+    def test_reexport_is_stable(self):
+        """Parsing, not string equality: two exports of one registry
+        must parse to identical sample maps."""
+        registry = populated_registry()
+        assert parse_prometheus(registry.to_prometheus()) == parse_prometheus(
+            registry.to_prometheus()
+        )
+
+    def test_type_lines_present(self):
+        text = populated_registry().to_prometheus()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_train_loss gauge" in text
+        assert "# TYPE repro_span_seconds histogram" in text
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("}{ not a sample\n")
+
+    def test_empty_registry_exports_empty(self):
+        assert parse_prometheus(MetricsRegistry().to_prometheus()) == {}

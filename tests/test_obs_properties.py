@@ -1,0 +1,172 @@
+"""Observability must be *invisible*: enabled vs disabled, the system's
+outputs are bitwise identical, and the traces it records are
+well-formed.
+
+Two identically-seeded services (and trainers) run the same workload —
+one with ``repro.obs`` fully on, one with it off — and every score,
+ranking and loss must match exactly.  The recorded span forest must
+pass ``validate_trace`` and its span counts must reconcile with the
+number of calls actually made.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import RecommendationService, STiSANConfig, TrainConfig
+from repro.core.stisan import STiSAN
+from repro.core.trainer import train_stisan
+from repro.data import partition
+from repro.obs import REGISTRY, aggregate_trace, observability, trace, validate_trace
+
+MAX_LEN = 10
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def make_service(dataset, seed=0, **kwargs):
+    cfg = STiSANConfig.small(
+        max_len=MAX_LEN, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0
+    )
+    model = STiSAN(dataset.num_pois, dataset.poi_coords, cfg,
+                   rng=np.random.default_rng(seed))
+    model.eval()
+    return RecommendationService(
+        model, dataset, max_len=MAX_LEN, num_candidates=20, **kwargs
+    )
+
+
+def serve_workload(service, users):
+    """A fixed mixed workload; returns every score produced."""
+    out = []
+    for user in users:
+        out.append([(r.poi, r.score) for r in service.recommend(user, k=5)])
+    for rows in service.recommend_batch(users, k=5):
+        out.append([(r.poi, r.score) for r in rows])
+    t = service.session(users[0]).times[-1] + 3600.0
+    poi = 1 if service.session(users[0]).pois[-1] != 1 else 2
+    service.check_in(users[0], poi, t)
+    out.append([(r.poi, r.score) for r in service.recommend(users[0], k=5)])
+    return out
+
+
+class TestServingOutputsUnchanged:
+    def test_serving_bitwise_identical_enabled_vs_disabled(self, micro_dataset):
+        users = micro_dataset.users()[:4]
+        with observability(enabled=False):
+            baseline = serve_workload(make_service(micro_dataset), users)
+        with observability():
+            observed = serve_workload(make_service(micro_dataset), users)
+        assert observed == baseline  # floats compared exactly, not approx
+
+    def test_uncached_service_also_unchanged(self, micro_dataset):
+        users = micro_dataset.users()[:3]
+        with observability(enabled=False):
+            baseline = serve_workload(
+                make_service(micro_dataset, enable_caches=False), users
+            )
+        with observability():
+            observed = serve_workload(
+                make_service(micro_dataset, enable_caches=False), users
+            )
+        assert observed == baseline
+
+
+class TestTrainingUnchanged:
+    def _train(self, dataset, examples):
+        cfg = STiSANConfig.small(
+            max_len=MAX_LEN, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.1
+        )
+        model = STiSAN(dataset.num_pois, dataset.poi_coords, cfg,
+                       rng=np.random.default_rng(3))
+        result = train_stisan(
+            model, dataset, examples, TrainConfig(epochs=1, batch_size=16, seed=5)
+        )
+        return result, model
+
+    def test_losses_and_weights_bitwise_identical(self, micro_dataset):
+        examples, _ = partition(micro_dataset, n=MAX_LEN)
+        with observability(enabled=False):
+            base_result, base_model = self._train(micro_dataset, examples)
+        with observability():
+            obs_result, obs_model = self._train(micro_dataset, examples)
+        assert obs_result.epoch_losses == base_result.epoch_losses
+        for (name, p), (name2, p2) in zip(
+            base_model.named_parameters(), obs_model.named_parameters()
+        ):
+            assert name == name2
+            np.testing.assert_array_equal(p.data, p2.data, err_msg=name)
+
+
+class TestTraceWellFormed:
+    def test_serving_trace_validates_and_counts_match_calls(self, micro_dataset):
+        service = make_service(micro_dataset)
+        users = micro_dataset.users()[:4]
+        n_single, n_batch = 5, 2
+        with observability():
+            obs.reset()
+            for i in range(n_single):
+                service.recommend(users[i % len(users)], k=5)
+            for _ in range(n_batch):
+                service.recommend_batch(users, k=5)
+        roots = trace()
+        assert validate_trace(roots) == []
+        assert [r.name for r in roots] == (
+            ["service.recommend"] * n_single
+            + ["service.recommend_batch"] * n_batch
+        )
+        agg = aggregate_trace(roots)
+        assert agg["service.recommend"].count == n_single
+        assert agg["service.recommend_batch"].count == n_batch
+        # Every request builds exactly one slate stage and one model
+        # forward, on both paths.
+        for path in ("service.recommend", "service.recommend_batch"):
+            assert agg[path].children["service.slate"].count == agg[path].count
+            assert agg[path].children["service.model_forward"].count == agg[path].count
+            assert agg[path].children["service.rank"].count == agg[path].count
+        # The span histogram saw the same counts the trace did.
+        h = REGISTRY.histogram("repro_span_seconds", {"span": "service.recommend"})
+        assert h.count == n_single
+
+    def test_request_counters_match_calls(self, micro_dataset):
+        service = make_service(micro_dataset)
+        users = micro_dataset.users()[:4]
+        with observability():
+            obs.reset()
+            for _ in range(3):
+                service.recommend(users[0], k=5)
+            service.recommend_batch(users, k=5)
+        assert REGISTRY.value("repro_requests_total", {"path": "recommend"}) == 3
+        assert REGISTRY.value("repro_queries_total", {"path": "recommend"}) == 3
+        assert REGISTRY.value("repro_requests_total", {"path": "recommend_batch"}) == 1
+        assert REGISTRY.value("repro_queries_total", {"path": "recommend_batch"}) == (
+            len(users)
+        )
+
+    def test_training_trace_validates_and_matches_batch_count(self, micro_dataset):
+        examples, _ = partition(micro_dataset, n=MAX_LEN)
+        cfg = STiSANConfig.small(
+            max_len=MAX_LEN, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0
+        )
+        model = STiSAN(micro_dataset.num_pois, micro_dataset.poi_coords, cfg,
+                       rng=np.random.default_rng(0))
+        with observability():
+            obs.reset()
+            train_stisan(model, micro_dataset, examples,
+                         TrainConfig(epochs=2, batch_size=16, seed=1))
+        roots = trace()
+        assert validate_trace(roots) == []
+        agg = aggregate_trace(roots)
+        assert agg["train.epoch"].count == 2
+        batches = agg["train.epoch"].children["train.batch"]
+        assert batches.count == REGISTRY.value("repro_train_batches_total")
+        for stage in ("train.forward", "train.backward", "train.step"):
+            assert batches.children[stage].count == batches.count
+        assert REGISTRY.value("repro_train_epochs_total") == 2

@@ -1,0 +1,197 @@
+"""Unit tests for ``repro.obs.spans``, the enable switch and Stopwatch.
+
+The structural contract: spans nest into well-formed trees
+(``validate_trace`` finds nothing), disabled spans are the shared no-op
+singleton, and span durations feed the ``repro_span_seconds`` histogram
+of the global registry.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    REGISTRY,
+    SpanRecord,
+    Stopwatch,
+    aggregate_trace,
+    clear_trace,
+    observability,
+    render_trace,
+    span,
+    trace,
+    validate_trace,
+    walk_spans,
+)
+from repro.obs.spans import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestEnableSwitch:
+    def test_disabled_by_default_in_tests(self):
+        assert not obs.is_enabled()
+
+    def test_enable_disable(self):
+        obs.enable()
+        assert obs.is_enabled()
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_observability_scopes_and_restores(self):
+        with observability():
+            assert obs.is_enabled()
+            with observability(enabled=False):
+                assert not obs.is_enabled()
+            assert obs.is_enabled()
+        assert not obs.is_enabled()
+
+
+class TestDisabledSpans:
+    def test_disabled_span_is_the_shared_null_singleton(self):
+        assert span("anything") is _NULL_SPAN
+        assert span("other") is _NULL_SPAN
+
+    def test_disabled_span_records_nothing(self):
+        with span("x"):
+            with span("y"):
+                pass
+        assert trace() == []
+        assert len(REGISTRY) == 0
+
+
+class TestEnabledSpans:
+    def test_nesting_builds_a_tree(self):
+        with observability():
+            with span("root"):
+                with span("child_a"):
+                    with span("leaf"):
+                        pass
+                with span("child_b"):
+                    pass
+        roots = trace()
+        assert [r.name for r in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["child_a", "child_b"]
+        assert [c.name for c in roots[0].children[0].children] == ["leaf"]
+
+    def test_sequential_roots_accumulate_oldest_first(self):
+        with observability():
+            for name in ("one", "two", "three"):
+                with span(name):
+                    pass
+        assert [r.name for r in trace()] == ["one", "two", "three"]
+
+    def test_trace_is_well_formed(self):
+        with observability():
+            with span("root"):
+                with span("a"):
+                    pass
+                with span("b"):
+                    with span("c"):
+                        pass
+        assert validate_trace(trace()) == []
+
+    def test_durations_non_negative_and_nested(self):
+        with observability():
+            with span("outer"):
+                with span("inner"):
+                    pass
+        outer = trace()[0]
+        inner = outer.children[0]
+        assert outer.duration_s >= inner.duration_s >= 0
+
+    def test_span_feeds_the_latency_histogram(self):
+        with observability():
+            with span("stage"):
+                pass
+            with span("stage"):
+                pass
+        h = REGISTRY.histogram("repro_span_seconds", {"span": "stage"})
+        assert h.count == 2
+        assert h.sum >= 0
+
+    def test_clear_trace_mid_span_does_not_corrupt(self):
+        with observability():
+            with span("outer"):
+                clear_trace()
+                with span("inner"):
+                    pass
+            # outer was abandoned by clear_trace; inner became a root.
+            assert [r.name for r in trace()] == ["inner"]
+            assert validate_trace(trace()) == []
+
+    def test_exception_still_closes_the_span(self):
+        with observability():
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("x")
+        roots = trace()
+        assert [r.name for r in roots] == ["boom"]
+        assert roots[0].end_s >= roots[0].start_s
+
+    def test_ring_is_bounded(self):
+        from repro.obs.spans import TRACE_LIMIT
+
+        with observability():
+            for i in range(TRACE_LIMIT + 10):
+                with span(f"s{i}"):
+                    pass
+        roots = trace()
+        assert len(roots) == TRACE_LIMIT
+        assert roots[-1].name == f"s{TRACE_LIMIT + 9}"
+
+
+class TestInspectionHelpers:
+    def _forest(self):
+        a = SpanRecord("a", 0.0, 10.0)
+        a.children.append(SpanRecord("b", 1.0, 2.0))
+        a.children.append(SpanRecord("b", 3.0, 5.0))
+        a.children[1].children.append(SpanRecord("c", 3.5, 4.0))
+        return [a]
+
+    def test_walk_is_depth_first(self):
+        names = [n.name for n in walk_spans(self._forest())]
+        assert names == ["a", "b", "b", "c"]
+
+    def test_aggregate_merges_same_name_siblings(self):
+        agg = aggregate_trace(self._forest())
+        assert agg["a"].count == 1
+        assert agg["a"].children["b"].count == 2
+        assert agg["a"].children["b"].total_s == pytest.approx(3.0)
+        assert agg["a"].children["b"].mean_s == pytest.approx(1.5)
+        assert agg["a"].children["b"].children["c"].count == 1
+
+    def test_validate_flags_negative_duration(self):
+        bad = [SpanRecord("neg", 5.0, 1.0)]
+        problems = validate_trace(bad)
+        assert len(problems) == 1 and "negative" in problems[0]
+
+    def test_validate_flags_child_escaping_parent(self):
+        parent = SpanRecord("p", 1.0, 2.0)
+        parent.children.append(SpanRecord("c", 0.5, 1.5))
+        problems = validate_trace([parent])
+        assert len(problems) == 1 and "escapes" in problems[0]
+
+    def test_render_contains_names_and_counts(self):
+        text = render_trace(self._forest())
+        assert "a" in text and "x2" in text and "  b" in text
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed > 0
+
+    def test_records_nothing_globally(self):
+        with observability():
+            with Stopwatch():
+                pass
+        assert trace() == []
+        assert len(REGISTRY) == 0

@@ -15,8 +15,11 @@ least 3x throughput at batch size 32.
 The observability-overhead check guards the ``repro.obs`` layer's
 always-on promise on the same batch-32 serving path: disabled-mode cost
 (no-op span/counter guards) must stay under 2%, and enabled-mode
-metrics + spans (no op profiler) under 15%.  The measured numbers are
-persisted to the bench results JSON alongside the sweep.
+metrics + spans (no op profiler) under 15%.  The fault-harness check
+holds ``repro.faults`` to the same bar: installed at zero rates, the
+serving path must stay within 2% of the no-harness baseline.  The
+measured numbers are persisted to the bench results JSON alongside the
+sweep.
 """
 
 from common import banner, dataset, persist, stisan_config, train_config
@@ -29,6 +32,7 @@ from repro.data import partition
 from repro.eval import (
     compare_latency,
     format_batch_sweep,
+    measure_fault_harness_overhead,
     measure_observability_overhead,
     sweep_service_batches,
 )
@@ -123,4 +127,30 @@ def test_observability_overhead(benchmark):
     # leave on in an experiment run.
     assert report.enabled_overhead_frac < 0.15, (
         f"enabled-mode overhead {report.enabled_overhead_frac:.1%} >= 15%"
+    )
+
+
+def run_fault_harness_overhead():
+    ds = dataset("gowalla")
+    train, _ = partition(ds, n=MAX_LEN)
+    model = make_recommender(
+        "STiSAN", ds, max_len=MAX_LEN, dim=32, seed=0, stisan_config=stisan_config()
+    )
+    model.fit(ds, train, train_config(epochs=1))
+    service = RecommendationService(model, ds, max_len=MAX_LEN, num_candidates=100)
+    users = ds.users()[:64]
+    return measure_fault_harness_overhead(
+        service, users, batch_size=32, rounds=2, repeats=3
+    )
+
+
+def test_fault_harness_overhead(benchmark):
+    report = benchmark.pedantic(run_fault_harness_overhead, rounds=1, iterations=1)
+    banner("Fault injection — repro.faults cost on the batch-32 serving path")
+    print(report)
+    persist("fault_harness_overhead", {"batch32": report.as_dict()})
+    # The harness's off-switch promise: installed at zero rates (and a
+    # fortiori absent), the serving path stays within 2% of baseline.
+    assert report.zero_rate_overhead_frac < 0.02, (
+        f"zero-rate harness overhead {report.zero_rate_overhead_frac:.2%} >= 2%"
     )

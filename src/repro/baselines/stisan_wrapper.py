@@ -34,8 +34,19 @@ class STiSANRecommender(SequentialRecommender):
         dataset: CheckInDataset,
         examples: List[SequenceExample],
         config: Optional[TrainConfig] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
     ) -> None:
-        train_stisan(self.model, dataset, examples, config)
+        train_stisan(
+            self.model,
+            dataset,
+            examples,
+            config,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
 
     def score_candidates(self, src, times, candidates, users=None) -> np.ndarray:
         return self.model.score_candidates(src, times, candidates)

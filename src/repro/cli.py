@@ -108,7 +108,21 @@ def cmd_train(args) -> int:
         ),
     )
     t0 = time.time()
-    model.fit(ds, train_examples, _train_config(args))
+    fit_kwargs = {}
+    if args.checkpoint_dir or args.resume:
+        if args.model != "STiSAN":
+            raise SystemExit(
+                "--checkpoint-dir/--resume require a trainer with crash-safe "
+                f"checkpointing; {args.model} does not support it (use STiSAN)"
+            )
+        if args.resume and not args.checkpoint_dir:
+            raise SystemExit("--resume requires --checkpoint-dir")
+        fit_kwargs = {
+            "checkpoint_dir": args.checkpoint_dir,
+            "checkpoint_every": args.checkpoint_every,
+            "resume": args.resume,
+        }
+    model.fit(ds, train_examples, _train_config(args), **fit_kwargs)
     print(f"trained {args.model} in {time.time() - t0:.0f}s")
     if args.out:
         target = getattr(model, "model", model)  # unwrap STiSAN/GeoSAN wrappers
@@ -294,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="train a model")
     add_train_args(p)
     p.add_argument("--out", help="checkpoint output path (.npz)")
+    p.add_argument("--checkpoint-dir",
+                   help="directory for crash-safe training checkpoints (STiSAN)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="also checkpoint every N optimizer steps (0 = epoch-end only)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the newest intact checkpoint in --checkpoint-dir")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a model")

@@ -1,10 +1,12 @@
 """``repro.core`` — the paper's contribution: TAPE, the spatial-temporal
 relation matrix, IAAB, TAAD and the assembled STiSAN recommender."""
 
+from .breaker import CircuitBreaker
 from .cache import CacheStats, LRUCache, ServingCaches
+from .checkpoint import TrainerCheckpoint, TrainProgress, collect_module_rngs
 from .config import PAPER_EPOCHS, PAPER_TEMPERATURES, STiSANConfig, TrainConfig
 from .early_stopping import EarlyStopping, validation_split
-from .service import Recommendation, RecommendationService, UserSession
+from .service import Recommendation, RecommendationService, ServiceHealth, UserSession
 from .geo_encoder import GeographyEncoder
 from .iaab import IntervalAwareAttentionBlock, IntervalAwareAttentionLayer
 from .loss import bce_loss_single_negative, weighted_bce_loss
@@ -55,6 +57,11 @@ __all__ = [
     "RecommendationService",
     "Recommendation",
     "UserSession",
+    "ServiceHealth",
+    "CircuitBreaker",
+    "TrainerCheckpoint",
+    "TrainProgress",
+    "collect_module_rngs",
     "CacheStats",
     "LRUCache",
     "ServingCaches",

@@ -38,6 +38,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
+from ..faults import state as _faults
 from ..obs import REGISTRY
 from ..obs import state as _obs
 
@@ -119,6 +120,18 @@ class LRUCache:
             if _obs._enabled:
                 self._obs_inc("misses")
             return None
+        if _faults._plan is not None:
+            # Fault-injection seam: a hit may come back corrupted, or be
+            # treated as evicted (the entry is really dropped, so the
+            # caller's recompute repopulates it like any cold miss).
+            value = _faults._plan.on_cache_get(self.name, key, value)
+            if value is None:
+                del self._data[key]
+                self._untag(key)
+                self.stats.misses += 1
+                if _obs._enabled:
+                    self._obs_inc("misses")
+                return None
         self._data.move_to_end(key)
         self.stats.hits += 1
         if _obs._enabled:

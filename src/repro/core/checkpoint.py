@@ -1,0 +1,371 @@
+"""Full training-state checkpoints for crash-safe, bitwise resume.
+
+A :class:`TrainerCheckpoint` captures *everything* the training loop
+needs to continue as if the process had never died:
+
+- model parameters,
+- Adam step count and first/second-moment buffers,
+- the trainer ``np.random.Generator`` bit-generator state (which also
+  covers the negative sampler — they share one generator),
+- the model's own generators (dropout noise) found by walking the
+  module tree,
+- the in-progress epoch's shuffled example order and how many batches
+  of it are done (so a mid-epoch resume replays the identical stream),
+- early-stopping state including the best parameter snapshot,
+- the loss/validation history accumulated so far,
+- a config fingerprint so a checkpoint is never resumed under
+  different hyper-parameters.
+
+Files are named ``ckpt-<global_step>.npz`` and written through the
+atomic, checksummed writer in :mod:`repro.nn.serialization`; by
+default the two most recent are kept, so a torn or bit-rotted newest
+file still leaves an intact predecessor.  :meth:`load_latest` walks
+newest-first, *skips* (and counts) corrupt files, and raises only when
+every candidate is damaged — a corrupt checkpoint is never silently
+loaded and never silently triggers retraining from scratch.
+
+The kill-and-resume equivalence suite
+(``tests/test_checkpoint_resume.py``) proves the headline property: a
+run crashed at any checkpointed step and resumed produces bitwise
+identical final parameters and an identical telemetry stream (modulo
+timestamps) to the same-seed uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..nn.serialization import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    load_arrays,
+    save_arrays,
+)
+from ..obs import REGISTRY
+from ..obs import state as _obs
+from .early_stopping import EarlyStopping
+
+__all__ = [
+    "TrainProgress",
+    "TrainerCheckpoint",
+    "collect_module_rngs",
+    "checkpoint_paths",
+]
+
+_CKPT_PREFIX = "ckpt-"
+
+
+def collect_module_rngs(module: Module) -> List[np.random.Generator]:
+    """Every distinct ``np.random.Generator`` reachable from the module
+    tree (dropout noise sources), in deterministic traversal order.
+
+    Two identically-constructed models visit their generators in the
+    same order, so states captured from one can be restored into the
+    other index-by-index.
+    """
+    seen: set = set()
+    found: List[np.random.Generator] = []
+
+    def visit(mod: Module) -> None:
+        for value in vars(mod).values():
+            if isinstance(value, np.random.Generator) and id(value) not in seen:
+                seen.add(id(value))
+                found.append(value)
+        for child in mod._modules.values():
+            visit(child)
+
+    visit(module)
+    return found
+
+
+def _rng_state(generator: np.random.Generator) -> Dict[str, Any]:
+    return generator.bit_generator.state
+
+
+def _restore_rng_state(generator: np.random.Generator, state: Dict[str, Any]) -> None:
+    expected = type(generator.bit_generator).__name__
+    stored = state.get("bit_generator")
+    if stored != expected:
+        raise CheckpointError(
+            f"checkpoint RNG state was produced by a {stored!r} bit generator "
+            f"but the live generator is {expected!r}; resume with the same "
+            "generator family the run was started with"
+        )
+    generator.bit_generator.state = state
+
+
+@dataclass
+class TrainProgress:
+    """Where the run is: resume lands at ``(epoch, batches_done)``."""
+
+    epoch: int = 0
+    batches_done: int = 0
+    global_step: int = 0
+    epoch_loss: float = 0.0
+    epoch_losses: List[float] = field(default_factory=list)
+    validation_metrics: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "batches_done": self.batches_done,
+            "global_step": self.global_step,
+            "epoch_loss": self.epoch_loss,
+            "epoch_losses": self.epoch_losses,
+            "validation_metrics": self.validation_metrics,
+            "stopped_early": self.stopped_early,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "TrainProgress":
+        return cls(
+            epoch=int(data["epoch"]),
+            batches_done=int(data["batches_done"]),
+            global_step=int(data["global_step"]),
+            epoch_loss=float(data["epoch_loss"]),
+            epoch_losses=[float(x) for x in data["epoch_losses"]],
+            validation_metrics=[float(x) for x in data["validation_metrics"]],
+            stopped_early=bool(data["stopped_early"]),
+        )
+
+
+def checkpoint_paths(directory: str | Path) -> List[Path]:
+    """``ckpt-*.npz`` files in ``directory``, newest (highest step) first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    paths = []
+    for path in directory.glob(f"{_CKPT_PREFIX}*.npz"):
+        stem = path.name[len(_CKPT_PREFIX):].split(".")[0]
+        if stem.isdigit():
+            paths.append((int(stem), path))
+    return [path for _, path in sorted(paths, reverse=True)]
+
+
+@dataclass
+class TrainerCheckpoint:
+    """One complete, restartable snapshot of a training run."""
+
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, Any]
+    trainer_rng: Dict[str, Any]
+    model_rngs: List[Dict[str, Any]]
+    progress: TrainProgress
+    fingerprint: Dict[str, Any]
+    early_stopping: Optional[Dict[str, Any]] = None
+    order: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        model: Module,
+        optimizer: Adam,
+        rng: np.random.Generator,
+        progress: TrainProgress,
+        fingerprint: Dict[str, Any],
+        stopper: Optional[EarlyStopping] = None,
+        order: Optional[np.ndarray] = None,
+    ) -> "TrainerCheckpoint":
+        return cls(
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            trainer_rng=_rng_state(rng),
+            model_rngs=[_rng_state(g) for g in collect_module_rngs(model)],
+            progress=TrainProgress(
+                epoch=progress.epoch,
+                batches_done=progress.batches_done,
+                global_step=progress.global_step,
+                epoch_loss=progress.epoch_loss,
+                epoch_losses=list(progress.epoch_losses),
+                validation_metrics=list(progress.validation_metrics),
+                stopped_early=progress.stopped_early,
+            ),
+            fingerprint=dict(fingerprint),
+            early_stopping=None if stopper is None else stopper.state_dict(),
+            order=None if order is None else np.asarray(order, dtype=np.int64).copy(),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path, keep_last: int = 2) -> Path:
+        """Atomically write ``ckpt-<global_step>.npz`` into ``directory``
+        and prune older checkpoints down to ``keep_last`` files."""
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        directory = Path(directory)
+        arrays: Dict[str, np.ndarray] = {}
+        for name, value in self.model_state.items():
+            arrays[f"model.{name}"] = value
+        for index, moment in enumerate(self.optimizer_state.get("m", [])):
+            arrays[f"opt.m.{index}"] = moment
+        for index, moment in enumerate(self.optimizer_state.get("v", [])):
+            arrays[f"opt.v.{index}"] = moment
+        es_meta = None
+        if self.early_stopping is not None:
+            es_meta = {k: v for k, v in self.early_stopping.items() if k != "best_state"}
+            best = self.early_stopping.get("best_state")
+            es_meta["has_best_state"] = best is not None
+            if best is not None:
+                for name, value in best.items():
+                    arrays[f"es.{name}"] = value
+        if self.order is not None:
+            arrays["order"] = np.asarray(self.order, dtype=np.int64)
+        meta = {
+            "kind": "trainer_checkpoint",
+            "progress": self.progress.to_json(),
+            "optimizer": {"t": int(self.optimizer_state["t"])},
+            "rng": {"trainer": self.trainer_rng, "model": self.model_rngs},
+            "fingerprint": self.fingerprint,
+            "early_stopping": es_meta,
+            "model_keys": sorted(self.model_state),
+            "num_moments": len(self.optimizer_state.get("m", [])),
+            "has_order": self.order is not None,
+        }
+        path = directory / f"{_CKPT_PREFIX}{self.progress.global_step:010d}.npz"
+        written = save_arrays(path, arrays, meta=meta)
+        if _obs._enabled:
+            REGISTRY.counter("repro_checkpoint_saves_total").inc()
+        for stale in checkpoint_paths(directory)[keep_last:]:
+            stale.unlink(missing_ok=True)
+        return written
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainerCheckpoint":
+        """Read one checkpoint file, verifying integrity and structure."""
+        arrays, meta = load_arrays(path)
+        if meta.get("kind") != "trainer_checkpoint":
+            raise CheckpointError(
+                f"{path} is not a trainer checkpoint (kind={meta.get('kind')!r}); "
+                "model-only checkpoints load via repro.nn.load_checkpoint"
+            )
+        try:
+            model_keys = meta["model_keys"]
+            num_moments = meta["num_moments"]
+            model_state = {name: arrays[f"model.{name}"] for name in model_keys}
+            optimizer_state = {
+                "t": int(meta["optimizer"]["t"]),
+                "m": [arrays[f"opt.m.{i}"] for i in range(num_moments)],
+                "v": [arrays[f"opt.v.{i}"] for i in range(num_moments)],
+            }
+            early_stopping = None
+            if meta["early_stopping"] is not None:
+                es_meta = dict(meta["early_stopping"])
+                has_best = es_meta.pop("has_best_state")
+                early_stopping = {
+                    "best_value": es_meta["best_value"],
+                    "best_epoch": es_meta["best_epoch"],
+                    "stale": es_meta["stale"],
+                    "epochs_seen": es_meta["epochs_seen"],
+                    "best_state": (
+                        {name: arrays[f"es.{name}"] for name in model_keys}
+                        if has_best
+                        else None
+                    ),
+                }
+            order = arrays["order"] if meta["has_order"] else None
+            progress = TrainProgress.from_json(meta["progress"])
+            rng_meta = meta["rng"]
+            return cls(
+                model_state=model_state,
+                optimizer_state=optimizer_state,
+                trainer_rng=rng_meta["trainer"],
+                model_rngs=list(rng_meta["model"]),
+                progress=progress,
+                fingerprint=meta["fingerprint"],
+                early_stopping=early_stopping,
+                order=order,
+            )
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is structurally incomplete (missing {exc}); "
+                "it was written by an incompatible revision or damaged — "
+                "resume from an older checkpoint"
+            ) from exc
+
+    @classmethod
+    def load_latest(
+        cls, directory: str | Path
+    ) -> Optional[Tuple["TrainerCheckpoint", Path]]:
+        """The newest loadable checkpoint in ``directory``.
+
+        Corrupt files are skipped (newest-first) with their failure
+        counted in ``repro_checkpoint_corrupt_skipped_total``; if every
+        present checkpoint is damaged this raises
+        :class:`CheckpointCorruptionError` rather than silently
+        restarting training from scratch.  Returns None only when the
+        directory holds no checkpoints at all.
+        """
+        candidates = checkpoint_paths(directory)
+        if not candidates:
+            return None
+        failures: List[str] = []
+        for path in candidates:
+            try:
+                return cls.load(path), path
+            except CheckpointError as exc:
+                failures.append(f"{path.name}: {exc}")
+                if _obs._enabled:
+                    REGISTRY.counter("repro_checkpoint_corrupt_skipped_total").inc()
+        raise CheckpointCorruptionError(
+            f"all {len(candidates)} checkpoint(s) in {directory} are corrupt; "
+            "refusing to silently restart from scratch — delete the directory "
+            "to retrain, or restore a checkpoint from backup. Failures:\n  "
+            + "\n  ".join(failures)
+        )
+
+    # ------------------------------------------------------------------
+    def check_fingerprint(self, fingerprint: Dict[str, Any]) -> None:
+        """Refuse to resume under a different run configuration."""
+        mismatched = {
+            key: (self.fingerprint.get(key), fingerprint[key])
+            for key in fingerprint
+            if self.fingerprint.get(key) != fingerprint[key]
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: checkpoint={old!r} vs run={new!r}"
+                for key, (old, new) in sorted(mismatched.items())
+            )
+            raise CheckpointError(
+                f"checkpoint fingerprint mismatch ({detail}); resuming under a "
+                "different configuration would not reproduce the original run — "
+                "use a fresh checkpoint directory for new settings"
+            )
+
+    def restore(
+        self,
+        model: Module,
+        optimizer: Adam,
+        rng: np.random.Generator,
+        stopper: Optional[EarlyStopping] = None,
+    ) -> TrainProgress:
+        """Load every captured piece back into the live objects and
+        return the progress marker to resume from."""
+        model.load_state_dict(self.model_state)
+        optimizer.load_state_dict(self.optimizer_state)
+        _restore_rng_state(rng, self.trainer_rng)
+        generators = collect_module_rngs(model)
+        if len(generators) != len(self.model_rngs):
+            raise CheckpointError(
+                f"checkpoint captured {len(self.model_rngs)} model RNG state(s) "
+                f"but the live model exposes {len(generators)}; the architecture "
+                "differs from the checkpointed run"
+            )
+        for generator, state in zip(generators, self.model_rngs):
+            _restore_rng_state(generator, state)
+        if self.early_stopping is not None:
+            if stopper is None:
+                raise CheckpointError(
+                    "checkpoint carries early-stopping state but the resuming "
+                    "run has no validation set; pass the same validation split"
+                )
+            stopper.load_state_dict(self.early_stopping)
+        return self.progress

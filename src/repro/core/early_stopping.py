@@ -26,6 +26,7 @@ class EarlyStopping:
     best_value: float = field(default=-np.inf, init=False)
     best_epoch: int = field(default=-1, init=False)
     _stale: int = field(default=0, init=False)
+    _epochs_seen: int = field(default=0, init=False)
     _best_state: Optional[Dict[str, np.ndarray]] = field(default=None, init=False)
 
     def __post_init__(self):
@@ -34,6 +35,7 @@ class EarlyStopping:
 
     def update(self, epoch: int, value: float, model: Optional[Module] = None) -> bool:
         """Record an epoch's metric.  Returns True when training should stop."""
+        self._epochs_seen += 1
         if value > self.best_value + self.min_delta:
             self.best_value = value
             self.best_epoch = epoch
@@ -45,11 +47,48 @@ class EarlyStopping:
         return self._stale >= self.patience
 
     def restore_best(self, model: Module) -> bool:
-        """Load the best snapshot into ``model``; False if none stored."""
+        """Load the best snapshot into ``model``; False if no snapshot
+        was ever recorded (e.g. every validation metric was NaN).
+
+        Raises ``RuntimeError`` if no validation epoch ever completed —
+        restoring "the best epoch" before a single :meth:`update` is a
+        caller bug, not a quiet no-op.
+        """
+        if self._epochs_seen == 0:
+            raise RuntimeError(
+                "restore_best() called but no validation epoch ever completed; "
+                "run at least one epoch with validation before restoring"
+            )
         if self._best_state is None:
             return False
         model.load_state_dict(self._best_state)
         return True
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Serializable snapshot (for crash-safe training resume)."""
+        return {
+            "best_value": float(self.best_value),
+            "best_epoch": self.best_epoch,
+            "stale": self._stale,
+            "epochs_seen": self._epochs_seen,
+            "best_state": (
+                None
+                if self._best_state is None
+                else {name: value.copy() for name, value in self._best_state.items()}
+            ),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.best_value = float(state["best_value"])
+        self.best_epoch = int(state["best_epoch"])
+        self._stale = int(state["stale"])
+        self._epochs_seen = int(state["epochs_seen"])
+        best = state["best_state"]
+        self._best_state = (
+            None if best is None else {name: np.asarray(value) for name, value in best.items()}
+        )
 
 
 def validation_split(

@@ -28,10 +28,27 @@ batch preparation, model forward, ranking) and request/padding-waste
 counters.  With observability disabled (the default) each stage pays a
 single no-op context-manager call, and outputs are bitwise identical
 either way — ``tests/test_obs_properties.py`` enforces both claims.
+
+**Degradation-aware serving.**  The model call sits behind a
+:class:`~repro.core.breaker.CircuitBreaker` and a finite-score guard:
+a request whose scores come back NaN/Inf (or whose model call raises)
+falls back to a distance + popularity ranking computed straight from
+the KD-tree index — no caches, no model — and every returned
+:class:`Recommendation` is tagged ``degraded=True``.  In
+``recommend_batch`` failures are isolated per row: a poisoned batch is
+retried row by row and only the bad rows degrade.  After
+``failure_threshold`` consecutive model failures the breaker opens and
+requests short-circuit to the fallback until a half-open probe
+succeeds.  A request is never dropped and never raises because the
+model misbehaved — the chaos suite in
+``tests/test_service_degradation.py`` drives this under injected op-,
+cache- and NaN-faults.
 """
 
 from __future__ import annotations
 
+import math
+import operator
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -44,6 +61,7 @@ from ..geo.neighbors import PoiIndex
 from ..nn.tensor import no_grad
 from ..obs import REGISTRY, span
 from ..obs import state as _obs
+from .breaker import CircuitBreaker
 from .cache import ServingCaches
 
 
@@ -56,18 +74,52 @@ class UserSession:
     times: List[float] = field(default_factory=list)
 
     def append(self, poi: int, timestamp: float) -> None:
+        timestamp = float(timestamp)
+        if not math.isfinite(timestamp):
+            raise ValueError(
+                f"non-finite timestamp {timestamp!r} for user {self.user}; "
+                "check-in times must be real unix seconds"
+            )
+        try:
+            poi_id = operator.index(poi)
+        except TypeError:
+            fractional = float(poi)
+            if not fractional.is_integer():
+                raise ValueError(
+                    f"POI id {poi!r} is not an integer; refusing to truncate "
+                    "it to a different POI"
+                ) from None
+            poi_id = int(fractional)
         if self.times and timestamp < self.times[-1]:
             raise ValueError(
                 f"out-of-order check-in for user {self.user}: "
                 f"{timestamp} < {self.times[-1]}"
             )
-        if poi == PAD_POI:
+        if poi_id == PAD_POI:
             raise ValueError("POI id 0 is reserved for padding")
-        self.pois.append(int(poi))
-        self.times.append(float(timestamp))
+        self.pois.append(poi_id)
+        self.times.append(timestamp)
 
     def __len__(self) -> int:
         return len(self.pois)
+
+
+@dataclass
+class ServiceHealth:
+    """Always-on degradation counters for one service instance
+    (mirrored into the global registry when observability is on)."""
+
+    requests: int = 0
+    degraded_rows: int = 0
+    model_failures: int = 0
+    short_circuits: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"requests={self.requests} degraded_rows={self.degraded_rows} "
+            f"model_failures={self.model_failures} "
+            f"short_circuits={self.short_circuits}"
+        )
 
 
 @dataclass
@@ -77,6 +129,7 @@ class Recommendation:
     poi: int
     score: float
     distance_km: float      # from the user's current POI
+    degraded: bool = False  # True when served by the fallback ranker
 
 
 class RecommendationService:
@@ -94,6 +147,9 @@ class RecommendationService:
         bundle is created when None and ``enable_caches`` is True.
     enable_caches : set False to serve fully uncached (every query
         recomputes slates, geography encodings and relation matrices).
+    breaker : the circuit breaker guarding the model call; a default
+        one (5 consecutive failures to open, 20 requests to half-open)
+        is created when None.
     """
 
     def __init__(
@@ -104,18 +160,35 @@ class RecommendationService:
         num_candidates: int = 100,
         caches: Optional[ServingCaches] = None,
         enable_caches: bool = True,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if max_len < 2:
             raise ValueError("max_len must be >= 2")
+        if num_candidates < 1:
+            raise ValueError(
+                f"num_candidates must be >= 1, got {num_candidates}"
+            )
+        if dataset.num_pois < 2:
+            raise ValueError(
+                f"dataset {dataset.name!r} has {dataset.num_pois} POI(s); "
+                "serving needs at least 2 (one anchor plus one candidate)"
+            )
         self.model = model
         self.dataset = dataset
         self.max_len = max_len
         self.num_candidates = min(num_candidates, dataset.num_pois - 1)
         self.caches = (caches or ServingCaches()) if enable_caches else None
+        self.breaker = breaker or CircuitBreaker()
+        self.health = ServiceHealth()
         attach = getattr(model, "use_serving_caches", None)
         if callable(attach):
             attach(self.caches)
         self._index = PoiIndex(dataset.poi_coords[1:], offset=1)
+        # Catalogue-wide visit counts: the popularity tie-break of the
+        # degraded fallback ranking (static, like the coordinates).
+        self._popularity = np.zeros(dataset.num_pois + 1, dtype=np.int64)
+        for seq in dataset.sequences.values():
+            np.add.at(self._popularity, np.asarray(seq.pois, dtype=np.int64), 1)
         self._sessions: Dict[int, UserSession] = {}
         for user in dataset.users():
             seq = dataset.sequences[user]
@@ -223,6 +296,67 @@ class RecommendationService:
         return out
 
     # ------------------------------------------------------------------
+    # Degradation path
+    # ------------------------------------------------------------------
+    def _note_degraded(self, rows: int) -> None:
+        self.health.degraded_rows += rows
+        if _obs._enabled:
+            REGISTRY.counter("repro_degraded_requests_total").inc(rows)
+
+    def _note_model_failure(self) -> None:
+        self.health.model_failures += 1
+        if _obs._enabled:
+            REGISTRY.counter("repro_model_failures_total").inc()
+
+    def _note_short_circuit(self) -> None:
+        self.health.short_circuits += 1
+        if _obs._enabled:
+            REGISTRY.counter("repro_breaker_short_circuits_total").inc()
+
+    def _fallback_recommendations(
+        self,
+        session: UserSession,
+        k: int,
+        exclude_visited: bool,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> List[Recommendation]:
+        """Model-free ranking: nearest first, popularity as tie-break.
+
+        Recomputes the slate directly from the KD-tree index (bypassing
+        the caches — a corrupted cache entry can be the very reason we
+        are here) unless the caller supplied an explicit slate, which is
+        sanitized against the catalogue range.  Scores are negated
+        distances so "higher is better" still holds downstream.
+        """
+        anchor = session.pois[-1]
+        if candidates is not None:
+            slate = np.asarray(list(candidates), dtype=np.int64)
+            slate = slate[(slate >= 1) & (slate <= self.dataset.num_pois)]
+        else:
+            exclude = set(session.pois) if exclude_visited else {anchor}
+            slate = self._index.nearest_excluding(
+                anchor, self.num_candidates, exclude=exclude
+            )
+        if len(slate) == 0:
+            slate = np.array(
+                [p for p in range(1, self.dataset.num_pois + 1) if p != anchor],
+                dtype=np.int64,
+            )
+        cur_lat, cur_lon = self.dataset.poi_coords[anchor]
+        coords = self.dataset.poi_coords[slate]
+        distances = haversine(cur_lat, cur_lon, coords[:, 0], coords[:, 1])
+        order = np.lexsort((-self._popularity[slate], distances))[:k]
+        return [
+            Recommendation(
+                poi=int(slate[i]),
+                score=float(-distances[i]),
+                distance_km=float(distances[i]),
+                degraded=True,
+            )
+            for i in order
+        ]
+
+    # ------------------------------------------------------------------
     # Serving paths
     # ------------------------------------------------------------------
     def recommend(
@@ -237,21 +371,48 @@ class RecommendationService:
         Candidates default to the nearest POIs around the user's
         current location (mirroring the evaluation protocol); pass an
         explicit list to re-rank an external slate instead.
+
+        Never raises because the *model* misbehaved: NaN/Inf scores or
+        a model exception degrade the request to the distance/popularity
+        fallback (results tagged ``degraded=True``).
         """
         with span("service.recommend"):
             if _obs._enabled:
                 REGISTRY.counter("repro_requests_total", {"path": "recommend"}).inc()
                 REGISTRY.counter("repro_queries_total", {"path": "recommend"}).inc()
+            self.health.requests += 1
             session = self._require_session(user)
             with span("service.slate"):
                 slate = self._resolve_slate(session, exclude_visited, candidates)
             if slate.size == 0:
                 return []
             src, times = self._query_arrays(session)
-            with span("service.model_forward"):
-                scores = self._score(src[None, :], times[None, :], slate[None, :], [user])[0]
+            if not self.breaker.allow_request():
+                self._note_short_circuit()
+                self._note_degraded(1)
+                with span("service.rank"):
+                    return self._fallback_recommendations(
+                        session, k, exclude_visited, candidates
+                    )
+            scores = None
+            try:
+                with span("service.model_forward"):
+                    scores = self._score(
+                        src[None, :], times[None, :], slate[None, :], [user]
+                    )[0]
+            except Exception:
+                scores = None
+            if scores is not None and np.all(np.isfinite(scores)):
+                self.breaker.record_success()
+                with span("service.rank"):
+                    return self._package(session, slate, scores, k)
+            self.breaker.record_failure()
+            self._note_model_failure()
+            self._note_degraded(1)
             with span("service.rank"):
-                return self._package(session, slate, scores, k)
+                return self._fallback_recommendations(
+                    session, k, exclude_visited, candidates
+                )
 
     def recommend_batch(
         self,
@@ -271,6 +432,12 @@ class RecommendationService:
 
         ``candidates`` is an optional per-user list aligned with
         ``users``; None entries fall back to the retrieved slate.
+
+        Failures are isolated per row: if the batched model call raises
+        or returns NaN/Inf for some rows, those rows (and only those)
+        are retried individually and, failing that, served by the
+        degraded fallback — one poisoned session never takes down its
+        batch-mates.
         """
         users = list(users)
         if candidates is not None and len(candidates) != len(users):
@@ -283,6 +450,7 @@ class RecommendationService:
                 REGISTRY.counter("repro_queries_total", {"path": "recommend_batch"}).inc(
                     len(users)
                 )
+            self.health.requests += 1
             sessions = [self._require_session(u) for u in users]
             with span("service.slate"):
                 slates = [
@@ -294,6 +462,19 @@ class RecommendationService:
             results: List[List[Recommendation]] = [[] for _ in users]
             live = [i for i, slate in enumerate(slates) if slate.size > 0]
             if not live:
+                return results
+
+            def row_candidates(i: int) -> Optional[Sequence[int]]:
+                return None if candidates is None else candidates[i]
+
+            if not self.breaker.allow_request():
+                self._note_short_circuit()
+                self._note_degraded(len(live))
+                with span("service.rank"):
+                    for i in live:
+                        results[i] = self._fallback_recommendations(
+                            sessions[i], k, exclude_visited, row_candidates(i)
+                        )
                 return results
 
             with span("service.prepare"):
@@ -315,11 +496,56 @@ class RecommendationService:
                 REGISTRY.counter("repro_batch_slate_pad_slots_total").inc(
                     sum(width - len(slates[i]) for i in live)
                 )
-            with span("service.model_forward"):
-                scores = self._score(src, times, batch_slates, [users[i] for i in live])
-            with span("service.rank"):
-                for row, i in enumerate(live):
-                    results[i] = self._package(
-                        sessions[i], slates[i], scores[row, : len(slates[i])], k
+            batch_scores = None
+            try:
+                with span("service.model_forward"):
+                    batch_scores = self._score(
+                        src, times, batch_slates, [users[i] for i in live]
                     )
+            except Exception:
+                self._note_model_failure()
+            row_scores: Dict[int, np.ndarray] = {}
+            failed_rows: List[int] = []
+            if batch_scores is not None:
+                for row, i in enumerate(live):
+                    scores = batch_scores[row, : len(slates[i])]
+                    if np.all(np.isfinite(scores)):
+                        row_scores[i] = scores
+                    else:
+                        failed_rows.append(i)
+            else:
+                # The whole call failed; retry each row alone so one
+                # poisoned session cannot sink the rest of the batch.
+                for row, i in enumerate(live):
+                    try:
+                        scores = self._score(
+                            src[row : row + 1],
+                            times[row : row + 1],
+                            batch_slates[row : row + 1],
+                            [users[i]],
+                        )[0, : len(slates[i])]
+                    except Exception:
+                        failed_rows.append(i)
+                        continue
+                    if np.all(np.isfinite(scores)):
+                        row_scores[i] = scores
+                    else:
+                        failed_rows.append(i)
+            if row_scores:
+                self.breaker.record_success()
+            else:
+                self.breaker.record_failure()
+            if failed_rows and batch_scores is not None:
+                self._note_model_failure()
+            with span("service.rank"):
+                for i in live:
+                    if i in row_scores:
+                        results[i] = self._package(
+                            sessions[i], slates[i], row_scores[i], k
+                        )
+                    else:
+                        self._note_degraded(1)
+                        results[i] = self._fallback_recommendations(
+                            sessions[i], k, exclude_visited, row_candidates(i)
+                        )
             return results

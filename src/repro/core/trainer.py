@@ -6,6 +6,18 @@ Instrumented with :mod:`repro.obs`: ``train.epoch`` / ``train.batch`` /
 stream (loss curve, step counts) is deterministic for a fixed seed
 modulo the timestamp field — ``tests/test_obs_telemetry.py`` replays
 two seeded runs and diffs them to catch nondeterminism regressions.
+
+Crash-safe resume: pass ``checkpoint_dir`` (and optionally
+``checkpoint_every`` steps) to write full
+:class:`repro.core.checkpoint.TrainerCheckpoint` snapshots — model,
+Adam moments, trainer/model RNG states, mid-epoch batch position and
+early-stopping state — through the atomic, checksummed writer.  With
+``resume=True`` the newest intact checkpoint is restored and training
+continues **bitwise identically** to the uninterrupted run: final
+parameters match exactly and the telemetry streams concatenate into
+the uninterrupted stream (modulo timestamps).  Telemetry for a batch
+is always emitted *before* that batch's checkpoint is written, so a
+crash between the two replays nothing and drops nothing.
 """
 
 from __future__ import annotations
@@ -19,9 +31,11 @@ from ..data.batching import BatchIterator
 from ..data.negatives import NearestNegativeSampler
 from ..data.sequences import EvalExample, SequenceExample
 from ..data.types import CheckInDataset
+from ..faults import state as _faults
 from ..nn.optim import Adam
 from ..obs import REGISTRY, TelemetrySink, span
 from ..obs import state as _obs
+from .checkpoint import TrainerCheckpoint, TrainProgress
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
 from .loss import weighted_bce_loss
@@ -36,10 +50,30 @@ class TrainResult:
     validation_metrics: List[float] = field(default_factory=list)
     stopped_early: bool = False
     best_epoch: int = -1
+    resumed_from_step: Optional[int] = None
 
     @property
     def final_loss(self) -> float:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def _fingerprint(
+    config: TrainConfig, num_examples: int, model, has_validation: bool
+) -> dict:
+    """Settings that must match between a checkpoint and a resuming run."""
+    return {
+        "model": type(model).__name__,
+        "seed": config.seed,
+        "epochs": config.epochs,
+        "batch_size": config.batch_size,
+        "learning_rate": config.learning_rate,
+        "num_negatives": config.num_negatives,
+        "negative_pool": config.negative_pool,
+        "temperature": config.temperature,
+        "grad_clip": config.grad_clip,
+        "num_examples": num_examples,
+        "has_validation": has_validation,
+    }
 
 
 def train_stisan(
@@ -52,6 +86,9 @@ def train_stisan(
     patience: int = 3,
     num_candidates: int = 100,
     telemetry: Optional[TelemetrySink] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> TrainResult:
     """Optimize ``model`` on the given training windows.
 
@@ -66,8 +103,21 @@ def train_stisan(
     ``telemetry`` (optional) receives one JSONL record per batch and
     per epoch; for a fixed config/seed the stream is identical between
     runs except for timestamps.
+
+    ``checkpoint_dir`` enables crash-safe checkpoints: one at the end
+    of every epoch, plus one every ``checkpoint_every`` optimizer steps
+    when that is positive.  ``resume=True`` restores the newest intact
+    checkpoint from the directory (corrupt files are skipped; if all
+    are corrupt the run refuses to silently start over) and continues
+    bitwise identically to the uninterrupted run.
     """
     config = config or TrainConfig()
+    if checkpoint_every < 0:
+        raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
+    if checkpoint_every and checkpoint_dir is None:
+        raise ValueError("checkpoint_every requires checkpoint_dir")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
     rng = np.random.default_rng(config.seed)
     sampler = NearestNegativeSampler(
         dataset,
@@ -78,7 +128,34 @@ def train_stisan(
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     result = TrainResult()
     stopper = EarlyStopping(patience=patience) if validation else None
-    if telemetry is not None:
+    fingerprint = _fingerprint(config, len(examples), model, validation is not None)
+
+    progress = TrainProgress()
+    resumed_order: Optional[np.ndarray] = None
+    resumed = False
+    if resume:
+        loaded = TrainerCheckpoint.load_latest(checkpoint_dir)
+        if loaded is not None:
+            ckpt, ckpt_path = loaded
+            ckpt.check_fingerprint(fingerprint)
+            progress = ckpt.restore(model, optimizer, rng, stopper)
+            resumed_order = ckpt.order
+            result.epoch_losses = list(progress.epoch_losses)
+            result.validation_metrics = list(progress.validation_metrics)
+            result.stopped_early = progress.stopped_early
+            result.resumed_from_step = progress.global_step
+            resumed = True
+            if _obs._enabled:
+                REGISTRY.counter("repro_train_resumes_total").inc()
+            if telemetry is not None:
+                telemetry.emit(
+                    "resume",
+                    checkpoint=ckpt_path.name,
+                    epoch=progress.epoch,
+                    batches_done=progress.batches_done,
+                    step=progress.global_step,
+                )
+    if telemetry is not None and not resumed:
         telemetry.emit(
             "train_start",
             epochs=config.epochs,
@@ -90,67 +167,110 @@ def train_stisan(
             num_examples=len(examples),
         )
 
-    global_step = 0
-    model.train()
-    for epoch in range(config.epochs):
-        with span("train.epoch"):
-            iterator = BatchIterator(
-                examples, batch_size=config.batch_size, sampler=sampler, rng=rng
-            )
-            epoch_loss = 0.0
-            num_batches = 0
-            for batch in iterator:
-                with span("train.batch"):
-                    with span("train.forward"):
-                        pos, neg = model.forward_train(
-                            batch.src, batch.times, batch.tgt, batch.negatives
-                        )
-                        loss = weighted_bce_loss(
-                            pos, neg, batch.target_mask, temperature=config.temperature
-                        )
-                    optimizer.zero_grad()
-                    with span("train.backward"):
-                        loss.backward()
-                    with span("train.step"):
-                        if config.grad_clip:
-                            optimizer.clip_grad_norm(config.grad_clip)
-                        optimizer.step()
-                batch_loss = float(loss.data)
-                epoch_loss += batch_loss
-                num_batches += 1
-                global_step += 1
-                if _obs._enabled:
-                    REGISTRY.counter("repro_train_batches_total").inc()
-                    REGISTRY.gauge("repro_train_loss").set(batch_loss)
-                if telemetry is not None:
-                    telemetry.emit("batch", epoch=epoch, step=global_step, loss=batch_loss)
-        mean_loss = epoch_loss / max(num_batches, 1)
-        result.epoch_losses.append(mean_loss)
-        if _obs._enabled:
-            REGISTRY.counter("repro_train_epochs_total").inc()
-            REGISTRY.gauge("repro_train_epoch_loss").set(mean_loss)
-        if telemetry is not None:
-            telemetry.emit("epoch", epoch=epoch, batches=num_batches, mean_loss=mean_loss)
-        if config.verbose:
-            print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
-        if on_epoch_end is not None:
-            on_epoch_end(epoch, mean_loss)
-        if stopper is not None:
-            from ..eval.protocol import evaluate  # repro-lint: disable=REPRO-HOTIMPORT -- breaks the core<->eval import cycle; runs once per epoch, not per query
+    global_step = progress.global_step
 
-            model.eval()
-            with span("train.validate"):
-                report = evaluate(model, dataset, validation, num_candidates=num_candidates)
-            model.train()
-            result.validation_metrics.append(report.ndcg10)
+    def save_ckpt(epoch: int, batches_done: int, epoch_loss: float, order) -> None:
+        snapshot = TrainProgress(
+            epoch=epoch,
+            batches_done=batches_done,
+            global_step=global_step,
+            epoch_loss=epoch_loss,
+            epoch_losses=list(result.epoch_losses),
+            validation_metrics=list(result.validation_metrics),
+            stopped_early=result.stopped_early,
+        )
+        TrainerCheckpoint.capture(
+            model, optimizer, rng, snapshot, fingerprint, stopper=stopper, order=order
+        ).save(checkpoint_dir)
+        plan = _faults.active_plan()
+        if plan is not None:
+            plan.on_train_checkpoint(global_step)
+
+    model.train()
+    start_epoch = progress.epoch
+    run_epochs = not progress.stopped_early and start_epoch < config.epochs
+    if run_epochs:
+        for epoch in range(start_epoch, config.epochs):
+            with span("train.epoch"):
+                iterator = BatchIterator(
+                    examples, batch_size=config.batch_size, sampler=sampler, rng=rng
+                )
+                if resumed_order is not None and epoch == start_epoch:
+                    # Mid-epoch resume: replay the checkpointed shuffle
+                    # order from the first unprocessed batch; the RNG
+                    # state restored above already reflects the shuffle
+                    # and the sampler draws of the completed batches.
+                    order = resumed_order
+                    start_batch = progress.batches_done
+                    epoch_loss = progress.epoch_loss
+                    num_batches = progress.batches_done
+                else:
+                    order = iterator.epoch_order()
+                    start_batch = 0
+                    epoch_loss = 0.0
+                    num_batches = 0
+                for batch in iterator.iter_order(order, start_batch=start_batch):
+                    with span("train.batch"):
+                        with span("train.forward"):
+                            pos, neg = model.forward_train(
+                                batch.src, batch.times, batch.tgt, batch.negatives
+                            )
+                            loss = weighted_bce_loss(
+                                pos, neg, batch.target_mask, temperature=config.temperature
+                            )
+                        optimizer.zero_grad()
+                        with span("train.backward"):
+                            loss.backward()
+                        with span("train.step"):
+                            if config.grad_clip:
+                                optimizer.clip_grad_norm(config.grad_clip)
+                            optimizer.step()
+                    batch_loss = float(loss.data)
+                    epoch_loss += batch_loss
+                    num_batches += 1
+                    global_step += 1
+                    if _obs._enabled:
+                        REGISTRY.counter("repro_train_batches_total").inc()
+                        REGISTRY.gauge("repro_train_loss").set(batch_loss)
+                    if telemetry is not None:
+                        telemetry.emit("batch", epoch=epoch, step=global_step, loss=batch_loss)
+                    if (
+                        checkpoint_every
+                        and global_step % checkpoint_every == 0
+                    ):
+                        save_ckpt(epoch, num_batches, epoch_loss, order)
+            mean_loss = epoch_loss / max(num_batches, 1)
+            result.epoch_losses.append(mean_loss)
+            if _obs._enabled:
+                REGISTRY.counter("repro_train_epochs_total").inc()
+                REGISTRY.gauge("repro_train_epoch_loss").set(mean_loss)
             if telemetry is not None:
-                telemetry.emit("validation", epoch=epoch, ndcg10=float(report.ndcg10))
+                telemetry.emit("epoch", epoch=epoch, batches=num_batches, mean_loss=mean_loss)
             if config.verbose:
-                print(f"  validation NDCG@10={report.ndcg10:.4f}")
-            if stopper.update(epoch, report.ndcg10, model=model):
-                result.stopped_early = True
+                print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
+            if on_epoch_end is not None:
+                on_epoch_end(epoch, mean_loss)
+            should_stop = False
+            if stopper is not None:
+                from ..eval.protocol import evaluate  # repro-lint: disable=REPRO-HOTIMPORT -- breaks the core<->eval import cycle; runs once per epoch, not per query
+
+                model.eval()
+                with span("train.validate"):
+                    report = evaluate(model, dataset, validation, num_candidates=num_candidates)
+                model.train()
+                result.validation_metrics.append(report.ndcg10)
+                if telemetry is not None:
+                    telemetry.emit("validation", epoch=epoch, ndcg10=float(report.ndcg10))
+                if config.verbose:
+                    print(f"  validation NDCG@10={report.ndcg10:.4f}")
+                if stopper.update(epoch, report.ndcg10, model=model):
+                    result.stopped_early = True
+                    should_stop = True
+            if checkpoint_dir is not None:
+                save_ckpt(epoch + 1, 0, 0.0, None)
+            if should_stop:
                 break
-    if stopper is not None:
+    if stopper is not None and result.validation_metrics:
         stopper.restore_best(model)
         result.best_epoch = stopper.best_epoch
     model.eval()

@@ -69,11 +69,24 @@ class BatchIterator:
     def __len__(self) -> int:
         return (len(self.examples) + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[Batch]:
+    def epoch_order(self) -> np.ndarray:
+        """Draw this epoch's example order (one shuffle from ``rng``).
+
+        Exposed so a checkpointing trainer can capture the order and
+        resume mid-epoch via :meth:`iter_order` without perturbing the
+        RNG stream relative to plain ``__iter__``.
+        """
         order = np.arange(len(self.examples))
         if self.shuffle:
             self.rng.shuffle(order)
-        for start in range(0, len(order), self.batch_size):
+        return order
+
+    def iter_order(self, order: np.ndarray, start_batch: int = 0) -> Iterator[Batch]:
+        """Yield batches following a fixed ``order``, skipping the first
+        ``start_batch`` batches (already processed before a crash)."""
+        if start_batch < 0:
+            raise ValueError("start_batch must be >= 0")
+        for start in range(start_batch * self.batch_size, len(order), self.batch_size):
             chunk = [self.examples[i] for i in order[start:start + self.batch_size]]
             users = np.array([e.user for e in chunk], dtype=np.int64)
             src = np.stack([e.src_pois for e in chunk])
@@ -81,3 +94,6 @@ class BatchIterator:
             tgt = np.stack([e.tgt_pois for e in chunk])
             negatives = self.sampler.sample(tgt) if self.sampler is not None else None
             yield Batch(users=users, src=src, times=times, tgt=tgt, negatives=negatives)
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self.iter_order(self.epoch_order())

@@ -14,10 +14,12 @@ from .extra_metrics import (
 from .flops import FlopsBreakdown, attention_encoder_flops, compare_sa_iaab, parameter_counts
 from .latency import (
     BatchSweepPoint,
+    FaultOverheadReport,
     LatencyReport,
     ObsOverheadReport,
     compare_latency,
     format_batch_sweep,
+    measure_fault_harness_overhead,
     measure_observability_overhead,
     measure_scoring_latency,
     sweep_service_batches,
@@ -68,6 +70,8 @@ __all__ = [
     "format_batch_sweep",
     "ObsOverheadReport",
     "measure_observability_overhead",
+    "FaultOverheadReport",
+    "measure_fault_harness_overhead",
     "ExperimentRecord",
     "ResultsStore",
     "grid_search",

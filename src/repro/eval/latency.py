@@ -15,7 +15,10 @@ the serving-cache hit rates.
 :mod:`repro.obs` instrumentation costs on the serving path: measured
 enabled-vs-disabled wall time, plus a microbenchmarked bound on the
 disabled-mode cost (no-op span calls and guard checks, each priced
-per event class).  All timing
+per event class).  :func:`measure_fault_harness_overhead` does the
+same for :mod:`repro.faults`: with no plan installed every seam pays
+one ``is None`` guard, so the disabled cost must be indistinguishable
+from noise.  All timing
 here goes through :class:`repro.obs.Stopwatch` — the ``REPRO-OBS``
 lint rule keeps raw ``time.perf_counter()`` calls out of this layer.
 """
@@ -29,6 +32,8 @@ import numpy as np
 
 from ..data.sequences import EvalExample
 from ..data.types import CheckInDataset
+from ..faults import fault_injection
+from ..faults import state as _faults_state
 from ..nn.tensor import no_grad
 from ..obs import REGISTRY, Stopwatch, clear_trace, observability, span, trace
 from ..obs import state as _obs_state
@@ -344,6 +349,106 @@ def measure_observability_overhead(
         span_events_per_query=span_events_per_query,
         counter_events_per_query=counter_events_per_query,
         disabled_overhead_frac=disabled_overhead,
+    )
+
+
+@dataclass
+class FaultOverheadReport:
+    """Cost of the :mod:`repro.faults` seams on the batched serving path.
+
+    With no plan installed each instrumented seam pays exactly one
+    module-attribute load and ``is None`` branch, so
+    ``disabled_overhead_frac`` is a measured enabled-vs-absent wall-time
+    ratio plus a microbenchmarked per-guard price for context.
+    ``zero_rate_overhead_frac`` measures the harness *installed* at
+    all-zero rates — the bitwise-free configuration the property suite
+    pins down — against the uninstalled baseline.
+    """
+
+    batch_size: int
+    rounds: int
+    baseline_query_s: float
+    zero_rate_query_s: float
+    zero_rate_overhead_frac: float
+    guard_check_s: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "batch_size": float(self.batch_size),
+            "baseline_query_ms": self.baseline_query_s * 1e3,
+            "zero_rate_query_ms": self.zero_rate_query_s * 1e3,
+            "zero_rate_overhead_pct": self.zero_rate_overhead_frac * 100.0,
+            "guard_check_ns": self.guard_check_s * 1e9,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"batch={self.batch_size}: "
+            f"no-harness={self.baseline_query_s * 1e3:.2f}ms/query, "
+            f"zero-rate harness={self.zero_rate_query_s * 1e3:.2f}ms/query "
+            f"({self.zero_rate_overhead_frac:+.1%}); "
+            f"per-seam guard {self.guard_check_s * 1e9:.0f}ns"
+        )
+
+
+def measure_fault_harness_overhead(
+    service,
+    users: Sequence[int],
+    batch_size: int = 32,
+    rounds: int = 3,
+    repeats: int = 3,
+    k: int = 10,
+    guard_samples: int = 200_000,
+) -> FaultOverheadReport:
+    """Measure serving-path cost with the fault harness absent vs
+    installed at zero rates.
+
+    Identical min-of-``repeats`` protocol to
+    :func:`measure_observability_overhead`.  A zero-rate plan never
+    draws from its RNGs (the property suite proves it is bitwise-free),
+    so the only cost left is the per-seam guard this measures.
+    """
+    users = list(users)
+    if not users:
+        raise ValueError("no users to measure on")
+    queries = len(users)
+
+    def run_once() -> None:
+        for start in range(0, queries, batch_size):
+            service.recommend_batch(users[start:start + batch_size], k=k)
+
+    def best_query_time() -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            with Stopwatch() as sw:
+                for _ in range(rounds):
+                    run_once()
+            best = min(best, sw.elapsed)
+        return best / (rounds * queries)
+
+    run_once()                          # warm caches / code paths
+    baseline_query_s = best_query_time()
+
+    # Price the guard every seam pays when the harness is absent: one
+    # module-attribute load plus an ``is None`` branch (still overpriced
+    # here by the surrounding loop overhead).
+    with Stopwatch() as sw:
+        for _ in range(guard_samples):
+            if _faults_state._plan is not None:
+                pass
+    guard_check_s = sw.elapsed / guard_samples
+
+    with fault_injection(seed=0):
+        run_once()
+        zero_rate_query_s = best_query_time()
+
+    return FaultOverheadReport(
+        batch_size=batch_size,
+        rounds=rounds,
+        baseline_query_s=baseline_query_s,
+        zero_rate_query_s=zero_rate_query_s,
+        zero_rate_overhead_frac=zero_rate_query_s / baseline_query_s - 1.0,
+        guard_check_s=guard_check_s,
     )
 
 

@@ -1,0 +1,39 @@
+"""``repro.faults`` — deterministic fault injection for robustness testing.
+
+A seeded :class:`FaultPlan` injects failures at the three seams the
+system already owns:
+
+- the **autograd op boundary** (NaN outputs, raised exceptions) — the
+  same hook point as anomaly mode and the op profiler;
+- the **serving caches** (corrupted or spuriously evicted entries);
+- **checkpoint IO** (torn writes followed by a simulated crash, bit
+  flips after a completed write) plus a trainer-level
+  ``crash_at_step`` kill switch for kill-and-resume tests.
+
+Everything is off by default behind one switch, mirroring
+:mod:`repro.obs`: hot paths pay a single ``is not None`` check per
+site, and a plan whose rates are all zero is bitwise free.  Use it as
+
+>>> from repro.faults import FaultConfig, fault_injection
+>>> with fault_injection(FaultConfig(seed=3, op_nan_rate=0.01)) as plan:
+...     service.recommend_batch(users)
+>>> plan.counts()          # what actually fired, deterministically
+
+and reconcile ``plan.log`` against the degradation counters the
+service reports (``tests/test_service_degradation.py`` does exactly
+that).
+"""
+
+from .plan import FaultConfig, FaultPlan, InjectedFault, InjectionEvent, SimulatedCrash
+from .state import active_plan, fault_injection, is_enabled
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "InjectionEvent",
+    "InjectedFault",
+    "SimulatedCrash",
+    "fault_injection",
+    "active_plan",
+    "is_enabled",
+]

@@ -1,0 +1,254 @@
+"""Fault plans: seeded, deterministic failure schedules.
+
+A :class:`FaultPlan` is the runtime object behind ``fault_injection``:
+each injection *site* (the autograd op boundary, the serving-cache
+layer, checkpoint IO, the trainer's checkpoint step) owns an
+independent ``np.random.Generator`` derived from the plan seed, so the
+injections at one seam never shift the draws at another and the same
+config over the same workload reproduces the same failures, byte for
+byte.  Every injection is appended to :attr:`FaultPlan.log`, which the
+chaos suites reconcile against the degradation counters the system
+reports.
+
+Zero-rate sites never touch their generator, so a plan with all rates
+at zero is bitwise free: installing the harness and not installing it
+produce identical outputs (the enabled-vs-disabled property suite in
+``tests/test_faults.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "InjectionEvent",
+    "InjectedFault",
+    "SimulatedCrash",
+]
+
+
+class InjectedFault(RuntimeError):
+    """An exception raised *by* the harness at an injection site."""
+
+
+class SimulatedCrash(RuntimeError):
+    """The harness's stand-in for the process dying (kill -9, power
+    loss).  Raised after a torn checkpoint write or at a configured
+    training step; nothing in the library catches it."""
+
+
+#: Stable per-site stream identifiers (mixed into the seed so sites
+#: draw from independent generators).
+_SITE_IDS = {
+    "op": 1,
+    "cache": 2,
+    "checkpoint_io": 3,
+    "trainer": 4,
+}
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to inject, and how often.  All rates default to zero."""
+
+    seed: int = 0
+    #: Autograd op boundary: probability an op's output gets one NaN.
+    op_nan_rate: float = 0.0
+    #: Autograd op boundary: probability an op raises InjectedFault.
+    op_error_rate: float = 0.0
+    #: Serving caches: probability a hit's value comes back corrupted.
+    cache_corrupt_rate: float = 0.0
+    #: Serving caches: probability a hit is treated as evicted (miss).
+    cache_evict_rate: float = 0.0
+    #: Checkpoint IO: probability a save writes a torn (partial) file
+    #: and then dies with SimulatedCrash before the atomic rename.
+    torn_write_rate: float = 0.0
+    #: Checkpoint IO: probability one bit of the written file is
+    #: flipped after the write completes (silent disk corruption).
+    bit_flip_rate: float = 0.0
+    #: Trainer: die with SimulatedCrash right after the checkpoint at
+    #: this global step is saved (the kill-and-resume test's trigger).
+    crash_at_step: Optional[int] = None
+
+    def __post_init__(self):
+        for name in (
+            "op_nan_rate", "op_error_rate", "cache_corrupt_rate",
+            "cache_evict_rate", "torn_write_rate", "bit_flip_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
+class InjectionEvent:
+    """One injected failure (site, kind, and site-specific detail)."""
+
+    site: str
+    kind: str
+    detail: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, site: str, kind: str, **detail) -> "InjectionEvent":
+        return cls(site=site, kind=kind, detail=tuple(sorted(detail.items())))
+
+
+def _op_name(backward) -> str:
+    """The producing op's name from its backward closure (mirrors
+    ``repro.nn.anomaly.op_name_of`` without importing ``repro.nn``)."""
+    if backward is None:
+        return "<leaf>"
+    qualname = getattr(backward, "__qualname__", getattr(backward, "__name__", "<op>"))
+    return qualname.split(".<locals>")[0]
+
+
+@dataclass
+class FaultPlan:
+    """A live, seeded injection schedule (see module docstring)."""
+
+    config: FaultConfig = field(default_factory=FaultConfig)
+    log: List[InjectionEvent] = field(default_factory=list)
+
+    def __post_init__(self):
+        self._rngs: Dict[str, np.random.Generator] = {
+            site: np.random.default_rng([site_id, self.config.seed])
+            for site, site_id in _SITE_IDS.items()
+        }
+
+    # ------------------------------------------------------------------
+    def _record(self, site: str, kind: str, **detail) -> None:
+        self.log.append(InjectionEvent.make(site, kind, **detail))
+
+    def counts(self) -> Dict[Tuple[str, str], int]:
+        """Injection totals keyed by ``(site, kind)``."""
+        out: Dict[Tuple[str, str], int] = {}
+        for event in self.log:
+            key = (event.site, event.kind)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Site: autograd op boundary (installed via nn.tensor.set_fault_hook)
+    # ------------------------------------------------------------------
+    def on_op_output(self, data: np.ndarray, backward) -> np.ndarray:
+        """Possibly corrupt one op output or raise InjectedFault."""
+        cfg = self.config
+        if cfg.op_error_rate > 0.0:
+            rng = self._rngs["op"]
+            if rng.random() < cfg.op_error_rate:
+                name = _op_name(backward)
+                self._record("op", "error", op=name)
+                raise InjectedFault(f"injected failure at op '{name}'")
+        if cfg.op_nan_rate > 0.0:
+            rng = self._rngs["op"]
+            if (
+                rng.random() < cfg.op_nan_rate
+                and isinstance(data, np.ndarray)
+                and data.size > 0
+                and np.issubdtype(data.dtype, np.floating)
+            ):
+                index = int(rng.integers(data.size))
+                corrupted = data.copy()
+                corrupted.flat[index] = np.nan
+                self._record("op", "nan", op=_op_name(backward), index=index)
+                return corrupted
+        return data
+
+    # ------------------------------------------------------------------
+    # Site: serving caches (consulted by repro.core.cache.LRUCache.get)
+    # ------------------------------------------------------------------
+    def on_cache_get(self, cache_name: str, key, value):
+        """Return the (possibly corrupted) hit value, or None to turn
+        the hit into an injected eviction."""
+        cfg = self.config
+        if cfg.cache_evict_rate > 0.0:
+            rng = self._rngs["cache"]
+            if rng.random() < cfg.cache_evict_rate:
+                self._record("cache", "evict", cache=cache_name, key=repr(key))
+                return None
+        if cfg.cache_corrupt_rate > 0.0:
+            rng = self._rngs["cache"]
+            if rng.random() < cfg.cache_corrupt_rate:
+                corrupted = self._corrupt_value(value, rng)
+                if corrupted is not None:
+                    self._record("cache", "corrupt", cache=cache_name, key=repr(key))
+                    return corrupted
+        return value
+
+    @staticmethod
+    def _corrupt_value(value, rng: np.random.Generator):
+        """A corrupted copy of a cached array, or None if the value is
+        not corruptible (non-array, empty)."""
+        if not isinstance(value, np.ndarray) or value.size == 0:
+            return None
+        corrupted = value.copy()
+        index = int(rng.integers(corrupted.size))
+        if np.issubdtype(corrupted.dtype, np.floating):
+            corrupted.flat[index] = np.nan
+        elif np.issubdtype(corrupted.dtype, np.integer):
+            # An id far outside any catalogue: downstream indexing fails
+            # loudly instead of silently serving a wrong-but-valid POI.
+            corrupted.flat[index] = np.iinfo(corrupted.dtype).max // 2
+        else:
+            return None
+        return corrupted
+
+    # ------------------------------------------------------------------
+    # Site: checkpoint IO (installed via nn.serialization.set_io_fault_hook)
+    # ------------------------------------------------------------------
+    def on_checkpoint_write(self, path, payload: bytes) -> Tuple[bytes, bool]:
+        """Maybe truncate the payload (torn write).  Returns
+        ``(payload, complete)``; an incomplete write is followed by
+        :meth:`on_torn_write` from inside the atomic writer."""
+        cfg = self.config
+        if cfg.torn_write_rate > 0.0 and len(payload) > 1:
+            rng = self._rngs["checkpoint_io"]
+            if rng.random() < cfg.torn_write_rate:
+                cut = int(rng.integers(1, len(payload)))
+                self._record(
+                    "checkpoint_io", "torn_write",
+                    path=str(path), bytes_written=cut, bytes_total=len(payload),
+                )
+                return payload[:cut], False
+        return payload, True
+
+    def on_torn_write(self, tmp_path) -> None:
+        """The crash that interrupted the torn write."""
+        raise SimulatedCrash(
+            f"injected crash mid-checkpoint-write ({tmp_path}); "
+            "the destination file was never replaced"
+        )
+
+    def on_checkpoint_written(self, path) -> None:
+        """Maybe flip one bit of the completed file on disk."""
+        cfg = self.config
+        if cfg.bit_flip_rate > 0.0:
+            rng = self._rngs["checkpoint_io"]
+            if rng.random() < cfg.bit_flip_rate:
+                data = bytearray(path.read_bytes())
+                if not data:
+                    return
+                position = int(rng.integers(len(data)))
+                bit = 1 << int(rng.integers(8))
+                data[position] ^= bit
+                path.write_bytes(bytes(data))
+                self._record(
+                    "checkpoint_io", "bit_flip",
+                    path=str(path), position=position, bit=bit,
+                )
+
+    # ------------------------------------------------------------------
+    # Site: trainer checkpoint step
+    # ------------------------------------------------------------------
+    def on_train_checkpoint(self, global_step: int) -> None:
+        """Die right after the checkpoint at ``crash_at_step`` landed."""
+        if self.config.crash_at_step is not None and global_step == self.config.crash_at_step:
+            self._record("trainer", "crash", step=global_step)
+            raise SimulatedCrash(
+                f"injected crash after checkpoint at global step {global_step}"
+            )

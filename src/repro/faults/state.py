@@ -1,0 +1,72 @@
+"""The fault-injection enable switch, mirroring :mod:`repro.obs.state`.
+
+Off by default: hot paths pay a single ``is not None`` check per
+injection site (the autograd op boundary checks a hook installed into
+:mod:`repro.nn.tensor`, checkpoint IO checks a hook installed into
+:mod:`repro.nn.serialization`, and the serving caches read the
+module-level :data:`_plan` directly).  ``with fault_injection(...):``
+installs a :class:`~repro.faults.plan.FaultPlan` at every seam at once
+and restores the previous state on exit, so nesting behaves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..nn.serialization import set_io_fault_hook
+from ..nn.tensor import set_fault_hook
+from .plan import FaultConfig, FaultPlan
+
+__all__ = ["fault_injection", "active_plan", "is_enabled"]
+
+#: Module-level plan read directly (as ``state._plan``) by hot paths.
+_plan: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, or None when the harness is off."""
+    return _plan
+
+
+def is_enabled() -> bool:
+    """True while a fault plan is installed."""
+    return _plan is not None
+
+
+class fault_injection:
+    """Context manager installing a fault plan at all three seams.
+
+    >>> with fault_injection(op_nan_rate=0.01, seed=7) as plan:
+    ...     service.recommend_batch(users)
+    >>> plan.counts()
+
+    Accepts a :class:`FaultConfig`, an existing :class:`FaultPlan`
+    (to keep one injection log across several ``with`` blocks), or the
+    config's keyword arguments directly.  Re-entrant: the inner plan
+    wins inside, the outer one is restored on exit.
+    """
+
+    def __init__(self, config: Optional[Union[FaultConfig, FaultPlan]] = None, **kwargs):
+        if config is not None and kwargs:
+            raise ValueError("pass either a config/plan object or keyword rates, not both")
+        if isinstance(config, FaultPlan):
+            self.plan = config
+        elif isinstance(config, FaultConfig):
+            self.plan = FaultPlan(config)
+        else:
+            self.plan = FaultPlan(FaultConfig(**kwargs))
+
+    def __enter__(self) -> FaultPlan:
+        global _plan
+        self._prev_plan = _plan
+        self._prev_op_hook = set_fault_hook(self.plan.on_op_output)
+        self._prev_io_hook = set_io_fault_hook(self.plan)
+        _plan = self.plan
+        return self.plan
+
+    def __exit__(self, *exc) -> bool:
+        global _plan
+        _plan = self._prev_plan
+        set_fault_hook(self._prev_op_hook)
+        set_io_fault_hook(self._prev_io_hook)
+        return False

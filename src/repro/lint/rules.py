@@ -17,6 +17,9 @@ REPRO-MUT        no external mutation of ``Tensor.data`` in op code
 REPRO-HOTIMPORT  no function-body imports in hot-path modules
 REPRO-OBS        no raw time.perf_counter in core//eval/; go through
                  repro.obs (Stopwatch / span) instead
+REPRO-ATOMICIO   no bare write-mode open / np.savez / Path.write_* in
+                 core//nn/; checkpoint bytes must go through the
+                 atomic, checksummed writer in repro.nn.serialization
 REPRO-SUP        suppression comments must carry a justification
 ==============   ======================================================
 """
@@ -469,6 +472,93 @@ class NoRawPerfCounterRule:
                             "reaches the metrics/trace exports",
                         )
                     )
+        return findings
+
+
+@register
+class AtomicCheckpointIoRule:
+    rule_id = "REPRO-ATOMICIO"
+    description = (
+        "File writes in core//nn/ must go through the atomic, "
+        "checksummed checkpoint writer (repro.nn.serialization."
+        "save_arrays / atomic_write_bytes); a bare open(..., 'w') or "
+        "np.savez can tear on a crash and carries no integrity record."
+    )
+
+    #: Layers that own checkpoint bytes; everything they persist must
+    #: survive a mid-write crash.
+    CHECKPOINT_DIRS = frozenset({"core", "nn"})
+    #: The one sanctioned write path.
+    ALLOWED_MODULES = frozenset({"serialization.py"})
+    #: numpy writers that serialize arrays straight to disk.
+    _NUMPY_WRITERS = {"numpy.savez", "numpy.savez_compressed", "numpy.save"}
+    #: pathlib-style write methods.
+    _PATH_WRITERS = {"write_bytes", "write_text"}
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if module.path.name in self.ALLOWED_MODULES and module.in_nn:
+            return False
+        return any(part in self.CHECKPOINT_DIRS for part in module.path.parts)
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return "r"  # open() defaults to read
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None  # dynamic mode: treat as suspect
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            canonical = canonical_numpy(name, module)
+            if canonical in self._NUMPY_WRITERS:
+                # Writing to an in-memory buffer is fine; only a direct
+                # path/str first argument is a torn-write hazard.  We
+                # cannot prove a Name is a buffer, so flag everything and
+                # let the atomic helper be the place that suppresses.
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        f"direct {name}(...) bypasses the atomic checksummed "
+                        "writer; build the payload in memory and hand it to "
+                        "repro.nn.serialization (save_arrays/atomic_write_bytes)",
+                    )
+                )
+                continue
+            if name == "open" or (name and name.endswith(".open")):
+                mode = self._open_mode(node)
+                if mode is None or any(flag in mode for flag in ("w", "a", "x", "+")):
+                    findings.append(
+                        _finding(
+                            module, node, self.rule_id,
+                            "bare write-mode open() in a checkpoint-owning "
+                            "layer can tear on a crash; route the bytes "
+                            "through repro.nn.serialization.atomic_write_bytes",
+                        )
+                    )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._PATH_WRITERS
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        f"direct .{node.func.attr}() in a checkpoint-owning "
+                        "layer is not crash-safe; use "
+                        "repro.nn.serialization.atomic_write_bytes",
+                    )
+                )
         return findings
 
 

@@ -57,6 +57,24 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._velocity: Optional[List[np.ndarray]] = None
 
+    def state_dict(self) -> dict:
+        """Momentum buffers (for crash-safe training resume)."""
+        return {
+            "velocity": None if self._velocity is None else [v.copy() for v in self._velocity]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state["velocity"]
+        if velocity is None:
+            self._velocity = None
+            return
+        if len(velocity) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(velocity)} velocity buffers "
+                f"for {len(self.params)} parameters"
+            )
+        self._velocity = [np.asarray(v, dtype=np.float32).copy() for v in velocity]
+
     def step(self) -> None:
         if self._velocity is None:
             self._velocity = [np.zeros_like(p.data) for p in self.params]
@@ -93,6 +111,33 @@ class Adam(Optimizer):
         self.t = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict:
+        """Step count and first/second-moment buffers, copied — the
+        checkpoint layer serializes these for crash-safe resume."""
+        return {
+            "t": self.t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this optimizer."""
+        moments_m, moments_v = state["m"], state["v"]
+        if len(moments_m) != len(self.params) or len(moments_v) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(moments_m)}/{len(moments_v)} moment "
+                f"buffers for {len(self.params)} parameters"
+            )
+        for param, m, v in zip(self.params, moments_m, moments_v):
+            if m.shape != param.data.shape or v.shape != param.data.shape:
+                raise ValueError(
+                    f"optimizer moment shape {m.shape}/{v.shape} does not match "
+                    f"parameter shape {param.data.shape}"
+                )
+        self.t = int(state["t"])
+        self._m = [np.asarray(m, dtype=np.float32).copy() for m in moments_m]
+        self._v = [np.asarray(v, dtype=np.float32).copy() for v in moments_v]
 
     def step(self) -> None:
         self.t += 1

@@ -36,6 +36,12 @@ _grad_enabled = True
 #: Like anomaly mode, the disabled path is a single predicted branch.
 _op_profiler = None
 
+#: Fault-injection hook (installed by ``repro.faults.fault_injection``).
+#: Called with ``(data, backward)`` at every op boundary; may return a
+#: corrupted output array or raise.  Same cost model as the profiler:
+#: one ``is not None`` check when disabled.
+_fault_hook = None
+
 
 def set_op_profiler(profiler):
     """Install (or clear, with None) the op-boundary profiler hook.
@@ -46,6 +52,18 @@ def set_op_profiler(profiler):
     global _op_profiler
     previous = _op_profiler
     _op_profiler = profiler
+    return previous
+
+
+def set_fault_hook(hook):
+    """Install (or clear, with None) the op-boundary fault injector.
+
+    Returns the previously installed hook so callers can restore it —
+    ``repro.faults.state.fault_injection`` is the only intended caller.
+    """
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
     return previous
 
 
@@ -205,6 +223,8 @@ class Tensor:
     ) -> "Tensor":
         if _op_profiler is not None:
             _op_profiler.on_forward(backward)
+        if _fault_hook is not None:
+            data = _fault_hook(data, backward)
         if _anomaly._enabled:
             _anomaly.check_forward(data, backward, parents)
         requires = _grad_enabled and any(p.requires_grad for p in parents)

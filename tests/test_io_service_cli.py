@@ -185,8 +185,13 @@ class TestEarlyStopping:
         assert es.restore_best(layer)
         np.testing.assert_array_equal(layer.weight.data, best)
 
+    def test_restore_before_any_epoch_raises(self):
+        with pytest.raises(RuntimeError, match="no validation epoch"):
+            EarlyStopping().restore_best(Linear(2, 2))
+
     def test_restore_without_snapshot(self):
         es = EarlyStopping()
+        es.update(0, float("-inf"))  # epoch ran, but no snapshot was taken
         assert not es.restore_best(Linear(2, 2))
 
     def test_validation(self):

@@ -343,6 +343,80 @@ class TestRawPerfCounter:
         assert lint_paths([path]) == []
 
 
+class TestAtomicCheckpointIo:
+    def test_write_mode_open_flagged_in_core(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            'def f(p):\n    with open(p, "w") as fh:\n        fh.write("x")\n',
+            rel="src/repro/core/scratch.py",
+        )
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-ATOMICIO"}
+        assert "atomic_write_bytes" in findings[0].message
+
+    @pytest.mark.parametrize("mode", ['"wb"', '"a"', '"x"', '"r+"', "mode_var"])
+    def test_every_write_mode_flagged(self, tmp_path, mode):
+        """All write-capable modes are caught; a dynamic (unprovable)
+        mode is treated as suspect too."""
+        source = f'def f(p, mode_var):\n    return open(p, {mode})\n'
+        path = write_scratch(tmp_path, source, rel="src/repro/nn/scratch.py")
+        assert rule_ids(lint_paths([path])) == {"REPRO-ATOMICIO"}
+
+    def test_mode_keyword_flagged(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            'def f(p):\n    return open(p, mode="w")\n',
+            rel="src/repro/core/scratch.py",
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-ATOMICIO"}
+
+    def test_read_mode_open_allowed(self, tmp_path):
+        source = 'def f(p):\n    return open(p), open(p, "rb"), open(p, mode="r")\n'
+        path = write_scratch(tmp_path, source, rel="src/repro/core/scratch.py")
+        assert lint_paths([path]) == []
+
+    @pytest.mark.parametrize("call", [
+        "np.savez(p, w=w)",
+        "np.savez_compressed(p, w=w)",
+        "np.save(p, w)",
+    ])
+    def test_numpy_writers_flagged(self, tmp_path, call):
+        source = f"import numpy as np\n\ndef f(p, w):\n    {call}\n"
+        path = write_scratch(tmp_path, source, rel="src/repro/core/scratch.py")
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-ATOMICIO"}
+        assert "save_arrays" in findings[0].message
+
+    def test_path_write_methods_flagged(self, tmp_path):
+        source = (
+            "def f(p):\n"
+            '    p.write_bytes(b"x")\n'
+            '    p.write_text("x")\n'
+        )
+        path = write_scratch(tmp_path, source, rel="src/repro/core/scratch.py")
+        findings = lint_paths([path])
+        assert len(findings) == 2
+        assert rule_ids(findings) == {"REPRO-ATOMICIO"}
+
+    def test_serialization_module_is_the_sanctioned_writer(self, tmp_path):
+        """The atomic helper itself is allowlisted — it is the one
+        place allowed to touch checkpoint bytes directly."""
+        source = 'def f(p):\n    return open(p, "wb")\n'
+        path = write_scratch(tmp_path, source, rel="src/repro/nn/serialization.py")
+        assert lint_paths([path]) == []
+
+    def test_layers_outside_core_and_nn_exempt(self, tmp_path):
+        source = 'import numpy as np\n\ndef f(p, w):\n    np.save(p, w)\n'
+        for rel in ("src/repro/data/scratch.py", "src/repro/obs/scratch.py"):
+            path = write_scratch(tmp_path, source, rel=rel)
+            assert lint_paths([path]) == [], rel
+
+    def test_np_load_not_flagged(self, tmp_path):
+        source = "import numpy as np\n\ndef f(p):\n    return np.load(p)\n"
+        path = write_scratch(tmp_path, source, rel="src/repro/core/scratch.py")
+        assert lint_paths([path]) == []
+
+
 class TestSuppressions:
     def test_justified_suppression_silences(self, tmp_path):
         path = write_scratch(

@@ -1,0 +1,204 @@
+"""Training throughput: the fused execution layer vs the reference chain.
+
+The PR claim under test: routing attention/LayerNorm through
+``repro.nn.fused``, stepping with the flat-buffer ``FlatAdam`` and
+recycling backward scratch through the gradient arena buys at least
+1.8x training steps/sec at the paper's sequence shape (n = 100,
+d = 64, N = 4 IAABs) over the unfused op-chain + per-parameter Adam.
+
+Both legs run the *same* numbers: the fused forward is bitwise
+identical to the reference chain and FlatAdam is bitwise identical to
+Adam, so the first step's loss must match exactly between legs — the
+benchmark asserts that too, making it a cheap end-to-end equivalence
+canary at a shape the unit suites don't cover.
+
+A second microbenchmark prices the ``segment_sum_rows`` scatter-add
+(embedding backward) against the ``np.add.at`` ufunc path it replaced,
+at training shape, asserting both the speedup and bitwise equality.
+
+Results are persisted to ``benchmarks/results/BENCH_train.json``.
+"""
+
+import contextlib
+import resource
+import time
+
+from common import QUICK, banner, dataset, persist, train_config
+
+import numpy as np
+
+from repro.core import STiSAN, STiSANConfig
+from repro.core.loss import weighted_bce_loss
+from repro.data import partition
+from repro.data.batching import BatchIterator
+from repro.data.negatives import NearestNegativeSampler
+from repro.nn.functional import segment_sum_rows
+from repro.nn.optim import Adam, FlatAdam
+from repro.nn.tensor import grad_arena
+
+# Paper sequence shape (Section IV-D), at reproduction-scale width:
+# n = 100 check-ins per window, d = 64 = 32 POI (+) 32 GPS, N = 4 IAABs.
+MAX_LEN = 32 if QUICK else 100
+DIM_HALF = 16 if QUICK else 32
+NUM_BLOCKS = 2 if QUICK else 4
+WARMUP_STEPS = 1 if QUICK else 2
+TIMED_STEPS = 3 if QUICK else 6
+
+#: The tentpole's acceptance bar for fused + FlatAdam + arena.
+MIN_SPEEDUP = 1.8
+
+
+def _peak_rss_mb() -> float:
+    # ru_maxrss is KiB on Linux; it is a process-lifetime high-water mark,
+    # so per-leg readings are only meaningful in run order.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_leg(fused: bool) -> dict:
+    """Train for a fixed number of steps; return timing + first-step loss."""
+    ds = dataset("gowalla")
+    examples, _ = partition(ds, n=MAX_LEN)
+    cfg = STiSANConfig(
+        max_len=MAX_LEN,
+        poi_dim=DIM_HALF,
+        geo_dim=DIM_HALF,
+        num_blocks=NUM_BLOCKS,
+        ffn_hidden=4 * DIM_HALF,
+        dropout=0.2,
+        quadkey_level=14,
+        quadkey_ngram=4,
+        fused=fused,
+    )
+    model = STiSAN(ds.num_pois, ds.poi_coords, cfg, rng=np.random.default_rng(7))
+    tc = train_config(epochs=1)
+    rng = np.random.default_rng(tc.seed)
+    sampler = NearestNegativeSampler(
+        ds, num_negatives=tc.num_negatives, pool_size=tc.negative_pool, rng=rng
+    )
+    optimizer_cls = FlatAdam if fused else Adam
+    optimizer = optimizer_cls(model.parameters(), lr=tc.learning_rate)
+    model.train()
+
+    def batches():
+        while True:  # cycle epochs until the step budget is spent
+            iterator = BatchIterator(
+                examples, batch_size=tc.batch_size, sampler=sampler, rng=rng
+            )
+            yield from iterator.iter_order(iterator.epoch_order())
+
+    step_times = []
+    first_loss = None
+    # Reference leg runs unpooled, exactly like the pre-fusion trainer.
+    ctx = grad_arena() if fused else contextlib.nullcontext(None)
+    with ctx as arena:
+        stream = batches()
+        for step in range(WARMUP_STEPS + TIMED_STEPS):
+            batch = next(stream)
+            t0 = time.perf_counter()
+            pos, neg = model.forward_train(
+                batch.src, batch.times, batch.tgt, batch.negatives
+            )
+            loss = weighted_bce_loss(
+                pos, neg, batch.target_mask, temperature=tc.temperature
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            if tc.grad_clip:
+                optimizer.clip_grad_norm(tc.grad_clip)
+            optimizer.step()
+            if arena is not None:
+                arena.reset()
+            elapsed = time.perf_counter() - t0
+            if first_loss is None:
+                first_loss = float(loss.data)
+            if step >= WARMUP_STEPS:
+                step_times.append(elapsed)
+    mean_step = float(np.mean(step_times))
+    return {
+        "steps_per_sec": 1.0 / mean_step,
+        "mean_step_s": mean_step,
+        "timed_steps": TIMED_STEPS,
+        "first_step_loss": first_loss,
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+def run_throughput():
+    # Reference first: peak RSS is monotonic, so the unfused leg's
+    # reading is not inflated by the fused leg's allocations.
+    return {"reference": run_leg(fused=False), "fused": run_leg(fused=True)}
+
+
+def test_train_throughput(benchmark):
+    legs = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+    ref, fus = legs["reference"], legs["fused"]
+    speedup = fus["steps_per_sec"] / ref["steps_per_sec"]
+    banner(f"Training throughput — n={MAX_LEN}, d={2 * DIM_HALF}, N={NUM_BLOCKS}")
+    for name, leg in legs.items():
+        print(
+            f"{name:10s} {leg['steps_per_sec']:6.3f} steps/s "
+            f"({leg['mean_step_s'] * 1e3:7.1f} ms/step, "
+            f"peak RSS {leg['peak_rss_mb']:7.1f} MB)"
+        )
+    print(f"{'speedup':10s} {speedup:6.2f}x (gate: >= {MIN_SPEEDUP}x)")
+    persist(
+        "BENCH_train",
+        {**legs, "speedup": {"steps_per_sec_ratio": speedup}},
+        max_len=MAX_LEN, dim=2 * DIM_HALF, num_blocks=NUM_BLOCKS,
+    )
+    # Fused forward is bitwise-identical and both legs share every RNG
+    # stream, so the first step must produce the exact same loss.
+    assert fus["first_step_loss"] == ref["first_step_loss"], (
+        f"fused first-step loss {fus['first_step_loss']!r} != "
+        f"reference {ref['first_step_loss']!r}"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fused training speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"
+    )
+
+
+def run_scatter():
+    rng = np.random.default_rng(0)
+    num_rows = 4096                      # POI vocabulary at bench scale
+    n = 32 * MAX_LEN                     # one batch of flattened windows
+    dim = 2 * DIM_HALF
+    idx = rng.integers(0, num_rows, size=n)
+    grad = rng.standard_normal((n, dim)).astype(np.float32)
+
+    def add_at():
+        out = np.zeros((num_rows, dim), dtype=np.float32)
+        np.add.at(out, idx, grad)
+        return out
+
+    def segsum():
+        return segment_sum_rows(idx, grad, num_rows)
+
+    repeats = 3 if QUICK else 10
+    times = {"add_at": [], "segment_sum": []}
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        expected = add_at()
+        times["add_at"].append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        got = segsum()
+        times["segment_sum"].append(time.perf_counter() - t0)
+    return {
+        "add_at_s": min(times["add_at"]),
+        "segment_sum_s": min(times["segment_sum"]),
+        "bitwise_equal": bool(np.array_equal(expected, got)),
+    }
+
+
+def test_scatter_microbench(benchmark):
+    report = benchmark.pedantic(run_scatter, rounds=1, iterations=1)
+    speedup = report["add_at_s"] / report["segment_sum_s"]
+    banner("Embedding backward — segment_sum_rows vs np.add.at")
+    print(
+        f"np.add.at {report['add_at_s'] * 1e6:8.1f} us   "
+        f"segment_sum_rows {report['segment_sum_s'] * 1e6:8.1f} us   "
+        f"speedup {speedup:5.2f}x"
+    )
+    persist("BENCH_scatter", {"batch_shape": {**report, "speedup": speedup}})
+    assert report["bitwise_equal"], "segment_sum_rows diverged from np.add.at"
+    # The CSR selection-matrix path must actually beat the ufunc scatter.
+    assert speedup >= 1.5, f"scatter speedup {speedup:.2f}x below 1.5x"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..nn.fused import fused_default
 from .relation import RelationConfig
 
 
@@ -34,6 +35,10 @@ class STiSANConfig:
     use_relation: bool = True          # III. Remove IAAB -> False (Eq. 15)
     use_attention: bool = True         # IV.  Remove SA  -> False (Eq. 16)
     use_taad: bool = True              # V.   Remove TAAD -> False (Eq. 17)
+    # Execution backend: route attention / LayerNorm through the fused
+    # kernels in repro.nn.fused (bitwise-identical forward).  Defaults
+    # to the process-wide switch (env REPRO_FUSED, on unless "0").
+    fused: bool = field(default_factory=fused_default)
 
     def __post_init__(self):
         if self.max_len < 2:

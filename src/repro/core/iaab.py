@@ -24,6 +24,7 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.attention import NEG_INF
+from ..nn.fused import fused_causal_attention, fused_default, layer_norm_residual
 from ..nn.layers import Dropout, LayerNorm, Linear, PositionwiseFeedForward
 from ..nn.module import Module
 from ..nn.tensor import Tensor
@@ -45,6 +46,7 @@ class IntervalAwareAttentionLayer(Module):
         use_attention: bool = True,
         num_heads: int = 1,
         rng: Optional[np.random.Generator] = None,
+        fused: Optional[bool] = None,
     ):
         super().__init__()
         if not use_relation and not use_attention:
@@ -57,6 +59,7 @@ class IntervalAwareAttentionLayer(Module):
         self.head_dim = dim // num_heads
         self.use_relation = use_relation
         self.use_attention = use_attention
+        self.fused = fused_default() if fused is None else fused
         self.w_q = Linear(dim, dim, bias=False, rng=rng)
         self.w_k = Linear(dim, dim, bias=False, rng=rng)
         self.w_v = Linear(dim, dim, bias=False, rng=rng)
@@ -84,9 +87,19 @@ class IntervalAwareAttentionLayer(Module):
         v = self.w_v(x)
         if self.use_attention:
             q, k = self.w_q(x), self.w_k(x)
-            scores = (q @ k.transpose()) * (1.0 / np.sqrt(self.dim))
-            if self.use_relation and relation_bias is not None:
-                scores = scores + Tensor(relation_bias)
+            bias = relation_bias if self.use_relation else None
+            if self.fused:
+                result = fused_causal_attention(
+                    q, k, v, relation_bias=bias, mask=attend_mask,
+                    return_weights=return_weights,
+                )
+                if return_weights:
+                    fused_out, weights_arr = result
+                    return self.drop(fused_out), weights_arr
+                return self.drop(result)
+            scores = (q @ k.transpose()) * (1.0 / np.sqrt(self.dim))  # repro-lint: disable=REPRO-FUSED -- reference leg of the fused equivalence contract
+            if bias is not None:
+                scores = scores + Tensor(bias)
         else:
             # Ablation "Remove SA": A = Softmax(R) V — Eq. (16).
             if relation_bias is None:
@@ -117,22 +130,36 @@ class IntervalAwareAttentionLayer(Module):
             return t.reshape(b, n, h, hd).transpose(0, 2, 1, 3)  # (b, h, n, hd)
 
         q, k, v = split(self.w_q(x)), split(self.w_k(x)), split(self.w_v(x))
-        scores = (q @ k.transpose()) * (1.0 / np.sqrt(hd))
-        if self.use_relation and relation_bias is not None:
-            scores = scores + Tensor(
-                np.broadcast_to(relation_bias[..., None, :, :], (b, h, n, n)).copy()
-            )
         mask = np.broadcast_to(
             np.asarray(attend_mask)[..., None, :, :], (b, h, n, n)
         )
-        scores = scores.masked_fill(mask, NEG_INF)
-        weights = F.softmax(scores, axis=-1)
-        out = (weights @ v).transpose(0, 2, 1, 3).reshape(b, n, self.dim)
-        out = self.drop(out)
-        head_mean = weights.data.mean(axis=1)
+        bias = None
+        if self.use_relation and relation_bias is not None:
+            bias = np.broadcast_to(relation_bias[..., None, :, :], (b, h, n, n))
+        if self.fused:
+            head_mean = None
+            if return_weights:
+                attn, weights_arr = fused_causal_attention(
+                    q, k, v, relation_bias=bias, mask=mask, return_weights=True
+                )
+                head_mean = weights_arr.mean(axis=1)
+            else:
+                attn = fused_causal_attention(q, k, v, relation_bias=bias, mask=mask)
+            out = attn.transpose(0, 2, 1, 3).reshape(b, n, self.dim)
+            out = self.drop(out)
+        else:
+            scores = (q @ k.transpose()) * (1.0 / np.sqrt(hd))  # repro-lint: disable=REPRO-FUSED -- reference leg of the fused equivalence contract
+            if bias is not None:
+                scores = scores + Tensor(np.ascontiguousarray(bias))
+            scores = scores.masked_fill(mask, NEG_INF)
+            weights = F.softmax(scores, axis=-1)
+            out = (weights @ v).transpose(0, 2, 1, 3).reshape(b, n, self.dim)
+            out = self.drop(out)
+            head_mean = weights.data.mean(axis=1)
         if single:
             out = out.reshape(n, self.dim)
-            head_mean = head_mean[0]
+            if head_mean is not None:
+                head_mean = head_mean[0]
         if return_weights:
             return out, head_mean.copy()
         return out
@@ -150,10 +177,12 @@ class IntervalAwareAttentionBlock(Module):
         use_attention: bool = True,
         num_heads: int = 1,
         rng: Optional[np.random.Generator] = None,
+        fused: Optional[bool] = None,
     ):
         super().__init__()
         rng = rng or np.random.default_rng()
-        self.attn_norm = LayerNorm(dim)
+        self.fused = fused_default() if fused is None else fused
+        self.attn_norm = LayerNorm(dim, fused=self.fused)
         self.attn = IntervalAwareAttentionLayer(
             dim,
             dropout=dropout,
@@ -161,8 +190,9 @@ class IntervalAwareAttentionBlock(Module):
             use_attention=use_attention,
             num_heads=num_heads,
             rng=rng,
+            fused=self.fused,
         )
-        self.ffn_norm = LayerNorm(dim)
+        self.ffn_norm = LayerNorm(dim, fused=self.fused)
         self.ffn = PositionwiseFeedForward(dim, hidden_dim, dropout=dropout, rng=rng)
 
     def forward(
@@ -178,8 +208,16 @@ class IntervalAwareAttentionBlock(Module):
             )
         else:
             attn_out = self.attn(self.attn_norm(x), relation_bias, attend_mask)
-        x = x + attn_out
-        x = x + self.ffn(self.ffn_norm(x))
+        if self.fused:
+            # Pre-LN residual junction as one add + one fused LayerNorm.
+            x, normed = layer_norm_residual(
+                x, attn_out, self.ffn_norm.alpha, self.ffn_norm.beta,
+                eps=self.ffn_norm.eps,
+            )
+            x = x + self.ffn(normed)
+        else:
+            x = x + attn_out
+            x = x + self.ffn(self.ffn_norm(x))
         if return_weights:
             return x, weights
         return x

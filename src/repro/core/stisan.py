@@ -82,12 +82,13 @@ class STiSAN(Module):
                     use_attention=cfg.use_attention,
                     num_heads=cfg.num_heads,
                     rng=rng,
+                    fused=cfg.fused,
                 )
                 for _ in range(cfg.num_blocks)
             ]
         )
-        self.final_norm = LayerNorm(d)
-        self.decoder = TargetAwareAttentionDecoder(d)
+        self.final_norm = LayerNorm(d, fused=cfg.fused)
+        self.decoder = TargetAwareAttentionDecoder(d, fused=cfg.fused)
         self.serving_caches: Optional[ServingCaches] = None
 
     # ------------------------------------------------------------------

@@ -32,7 +32,8 @@ from ..data.negatives import NearestNegativeSampler
 from ..data.sequences import EvalExample, SequenceExample
 from ..data.types import CheckInDataset
 from ..faults import state as _faults
-from ..nn.optim import Adam
+from ..nn.optim import FlatAdam
+from ..nn.tensor import grad_arena
 from ..obs import REGISTRY, TelemetrySink, span
 from ..obs import state as _obs
 from .checkpoint import TrainerCheckpoint, TrainProgress
@@ -125,7 +126,9 @@ def train_stisan(
         pool_size=config.negative_pool,
         rng=rng,
     )
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    # FlatAdam performs bitwise-identical updates to Adam on one flat
+    # buffer; checkpoints remain interchangeable between the two.
+    optimizer = FlatAdam(model.parameters(), lr=config.learning_rate)
     result = TrainResult()
     stopper = EarlyStopping(patience=patience) if validation else None
     fingerprint = _fingerprint(config, len(examples), model, validation is not None)
@@ -191,7 +194,11 @@ def train_stisan(
     run_epochs = not progress.stopped_early and start_epoch < config.epochs
     if run_epochs:
         for epoch in range(start_epoch, config.epochs):
-            with span("train.epoch"):
+            # The gradient arena recycles backward scratch buffers
+            # across the epoch's steps; reset after each optimizer step
+            # (the step's graph is dead by then), discarded at epoch end
+            # so validation runs unpooled.
+            with span("train.epoch"), grad_arena() as arena:
                 iterator = BatchIterator(
                     examples, batch_size=config.batch_size, sampler=sampler, rng=rng
                 )
@@ -225,6 +232,7 @@ def train_stisan(
                             if config.grad_clip:
                                 optimizer.clip_grad_norm(config.grad_clip)
                             optimizer.step()
+                            arena.reset()
                     batch_loss = float(loss.data)
                     epoch_loss += batch_loss
                     num_batches += 1

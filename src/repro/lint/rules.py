@@ -20,6 +20,8 @@ REPRO-OBS        no raw time.perf_counter in core//eval/; go through
 REPRO-ATOMICIO   no bare write-mode open / np.savez / Path.write_* in
                  core//nn/; checkpoint bytes must go through the
                  atomic, checksummed writer in repro.nn.serialization
+REPRO-FUSED      no hand-rolled ``q @ k.transpose()`` attention chains
+                 in core/; route through repro.nn.fused
 REPRO-SUP        suppression comments must carry a justification
 ==============   ======================================================
 """
@@ -245,6 +247,17 @@ class NoFloat64LeakRule:
 
     #: calls that convert inputs and silently default to float64.
     _CONVERTERS = {"numpy.asarray", "numpy.array", "numpy.asfarray"}
+    #: allocators/builders that default to float64 when no dtype is
+    #: pinned.  These are the classic closure-capture leak: a backward
+    #: closure grabs a dtype-less scratch array at forward time and
+    #: every gradient that touches it silently upcasts.
+    _CONSTRUCTORS = {
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.full",
+        "numpy.arange",
+    }
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return module.in_nn
@@ -307,6 +320,35 @@ class NoFloat64LeakRule:
                         module, node, self.rule_id,
                         f"bare {func_name}(...) without dtype may leak float64 "
                         "into a differentiable path; pass an explicit dtype",
+                    )
+                )
+                continue
+            # dtype-less allocators: float64 by default, and frequently
+            # captured by backward closures where the leak survives the
+            # whole training step.
+            if canonical in self._CONSTRUCTORS and not any(
+                kw.arg == "dtype" for kw in node.keywords
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        f"dtype-less {func_name}(...) allocates float64 by "
+                        "default; closure-captured scratch arrays must pin "
+                        "an explicit dtype",
+                    )
+                )
+                continue
+            # np.bincount with weights accumulates in float64 (it takes
+            # no dtype argument); every use must cast on store and say so.
+            if canonical == "numpy.bincount" and any(
+                kw.arg == "weights" for kw in node.keywords
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        f"{func_name}(..., weights=...) accumulates in "
+                        "float64; cast the result to float32 and suppress "
+                        "with a justification",
                     )
                 )
         return findings
@@ -557,6 +599,51 @@ class AtomicCheckpointIoRule:
                         f"direct .{node.func.attr}() in a checkpoint-owning "
                         "layer is not crash-safe; use "
                         "repro.nn.serialization.atomic_write_bytes",
+                    )
+                )
+        return findings
+
+
+@register
+class FusedAttentionRoutingRule:
+    rule_id = "REPRO-FUSED"
+    description = (
+        "Attention in the model layer (core/) must route through "
+        "repro.nn.fused so the fused/reference toggle stays the single "
+        "switch; a hand-rolled 'q @ k.transpose()' chain silently forks "
+        "the execution path (reference legs of the equivalence contract "
+        "suppress with a justification)."
+    )
+
+    #: methods/functions that transpose an operand for a score matmul.
+    _TRANSPOSERS = frozenset({"transpose", "swapaxes"})
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return "core" in module.path.parts and not module.in_nn
+
+    @classmethod
+    def _is_transposed_operand(cls, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in cls._TRANSPOSERS
+        )
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult)):
+                continue
+            if self._is_transposed_operand(node.left) or self._is_transposed_operand(
+                node.right
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        "hand-rolled attention score chain "
+                        "('x @ y.transpose()') in core/; call "
+                        "repro.nn.fused.fused_causal_attention so the "
+                        "fused/reference toggle covers this site",
                     )
                 )
         return findings

@@ -15,6 +15,12 @@ from .attention import (
     scaled_dot_product_attention,
 )
 from .conv import HorizontalConv, VerticalConv, unfold_sequence
+from .fused import (
+    fused_causal_attention,
+    fused_default,
+    layer_norm_residual,
+    set_fused_default,
+)
 from .layers import (
     Dropout,
     Embedding,
@@ -24,7 +30,7 @@ from .layers import (
     ReLU,
 )
 from .module import Module, ModuleList, Parameter, Sequential
-from .optim import SGD, Adam, AdamW, Optimizer
+from .optim import SGD, Adam, AdamW, FlatAdam, Optimizer
 from .rnn import GRU, GRUCell, LSTMCell, STGNCell
 from .schedulers import (
     CosineAnnealingLR,
@@ -36,8 +42,11 @@ from .schedulers import (
 )
 from .serialization import load_checkpoint, save_checkpoint
 from .tensor import (
+    GradArena,
     Tensor,
+    active_arena,
     concatenate,
+    grad_arena,
     matmul,
     no_grad,
     ones,
@@ -61,6 +70,13 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "GradArena",
+    "grad_arena",
+    "active_arena",
+    "fused_causal_attention",
+    "layer_norm_residual",
+    "fused_default",
+    "set_fused_default",
     "Module",
     "ModuleList",
     "Parameter",
@@ -86,6 +102,7 @@ __all__ = [
     "SGD",
     "Adam",
     "AdamW",
+    "FlatAdam",
     "LRScheduler",
     "StepLR",
     "ExponentialLR",

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from . import functional as F
+from .fused import fused_causal_attention, fused_default
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -33,6 +34,7 @@ def scaled_dot_product_attention(
     mask: Optional[np.ndarray] = None,
     bias: Optional[Tensor] = None,
     return_weights: bool = False,
+    fused: Optional[bool] = None,
 ) -> Tensor | Tuple[Tensor, np.ndarray]:
     """Softmax(QK^T / sqrt(d) + bias, masked) V.
 
@@ -43,7 +45,16 @@ def scaled_dot_product_attention(
     bias : additive term broadcastable to the attention map (pre-softmax).
     return_weights : also return the post-softmax attention map (detached
         numpy array) for interpretability visualizations (Figs. 5 and 7).
+    fused : route through :func:`repro.nn.fused.fused_causal_attention`
+        (one op, hand-derived backward) instead of the primitive chain;
+        None defers to the process default.  Forward is bitwise
+        identical either way.
     """
+    use_fused = fused_default() if fused is None else fused
+    if use_fused:
+        return fused_causal_attention(
+            q, k, v, relation_bias=bias, mask=mask, return_weights=return_weights
+        )
     d = q.shape[-1]
     scores = (q @ k.transpose()) * (1.0 / np.sqrt(d))
     if bias is not None:

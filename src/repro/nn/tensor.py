@@ -32,6 +32,113 @@ ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _grad_enabled = True
 
+#: Active gradient/activation arena (installed by :func:`grad_arena`).
+#: When None (the default) scratch requests fall back to plain
+#: ``np.empty`` — zero overhead off the training path.
+_arena: Optional["GradArena"] = None
+
+
+class GradArena:
+    """A pool of reusable scratch buffers for fused forward/backward ops.
+
+    The numpy engine allocates a fresh array per op; over a training run
+    the big attention-shaped intermediates ((b, n, n) score maps, their
+    gradients) dominate allocator traffic.  The arena hands out
+    uninitialized buffers keyed by (size, dtype) and takes them all back
+    at :meth:`reset`, which the trainer calls once per optimizer step —
+    so steady-state training reuses the same few buffers every step.
+
+    Lifetime rules (documented in README "Performance"):
+
+    - A buffer issued between two ``reset()`` calls is exclusively owned
+      until the next ``reset()``; fused ops may keep one alive across
+      forward -> backward of the *same* step (e.g. saved softmax weights).
+    - ``reset()`` must only run when the step's graph is dead (after
+      ``optimizer.step()``): every issued buffer becomes eligible for
+      reuse immediately.
+    - Arena buffers never escape the step: op *outputs* and parameter
+      gradients handed to ``_accumulate`` are ordinary arrays.
+    - Buffers are only pooled while grad mode is on; eval/no-grad code
+      paths allocate normally, so serving behaviour is unchanged.
+    """
+
+    __slots__ = ("_pool", "_issued", "hits", "misses")
+
+    def __init__(self):
+        self._pool: dict = {}
+        self._issued: list = []
+        self.hits = 0
+        self.misses = 0
+
+    def empty(self, shape, dtype=np.float32) -> np.ndarray:
+        """An uninitialized buffer of ``shape``; contents are garbage and
+        must be fully overwritten by the caller."""
+        dtype = np.dtype(dtype)
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        key = (size, dtype)
+        stack = self._pool.get(key)
+        if stack:
+            flat = stack.pop()
+            self.hits += 1
+        else:
+            flat = np.empty(size, dtype=dtype)
+            self.misses += 1
+        self._issued.append((key, flat))
+        return flat.reshape(shape)
+
+    def reset(self) -> None:
+        """Return every issued buffer to the pool (call once per step,
+        after ``optimizer.step()``)."""
+        for key, flat in self._issued:
+            self._pool.setdefault(key, []).append(flat)
+        self._issued.clear()
+
+    @property
+    def num_pooled(self) -> int:
+        return sum(len(stack) for stack in self._pool.values())
+
+
+class grad_arena:
+    """Context manager installing a :class:`GradArena` for fused ops.
+
+    >>> with grad_arena() as arena:
+    ...     for batch in batches:
+    ...         loss = model(batch); loss.backward(); opt.step()
+    ...         arena.reset()
+
+    Nestable; the previous arena (or None) is restored on exit.
+    """
+
+    def __init__(self, arena: Optional[GradArena] = None):
+        self._arena = arena or GradArena()
+
+    def __enter__(self) -> GradArena:
+        global _arena
+        self._prev = _arena
+        _arena = self._arena
+        return self._arena
+
+    def __exit__(self, *exc):
+        global _arena
+        _arena = self._prev
+        return False
+
+
+def active_arena() -> Optional[GradArena]:
+    """The currently installed arena, or None."""
+    return _arena
+
+
+def arena_empty(shape, dtype=np.float32) -> np.ndarray:
+    """Scratch buffer from the active arena (training only), else a
+    plain ``np.empty``.  Contents are uninitialized either way."""
+    if _arena is None or not _grad_enabled:
+        return np.empty(shape, dtype=dtype)
+    return _arena.empty(shape, dtype=dtype)
+
+
 #: Op-level profiler hook (installed by ``repro.obs.opprof.op_profile``).
 #: Like anomaly mode, the disabled path is a single predicted branch.
 _op_profiler = None

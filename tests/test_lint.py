@@ -123,6 +123,56 @@ class TestFloat64Leaks:
         )
         assert lint_paths([path]) == []
 
+    @pytest.mark.parametrize("call", [
+        "np.zeros(3)",
+        "np.ones((2, 2))",
+        "np.empty(n)",
+        "np.full((2, 2), 0.5)",
+        "np.arange(n)",
+    ])
+    def test_dtypeless_constructor_flagged(self, tmp_path, call):
+        """Closure-captured scratch arrays from dtype-less allocators
+        default to float64; an explicit dtype is required."""
+        source = f"import numpy as np\n\ndef op(n, i, w):\n    return {call}\n"
+        path = write_scratch(tmp_path, source)
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-F64"}
+        assert "dtype-less" in findings[0].message
+
+    def test_weighted_bincount_flagged(self, tmp_path):
+        """bincount takes no dtype argument and accumulates weights in
+        float64; each use must cast on store and justify a suppression."""
+        source = "import numpy as np\n\ndef op(i, w):\n    return np.bincount(i, weights=w)\n"
+        path = write_scratch(tmp_path, source)
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-F64"}
+        assert "weights" in findings[0].message
+
+    def test_constructor_with_dtype_allowed(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import numpy as np\n"
+            "x = np.zeros(3, dtype=np.float32)\n"
+            "y = np.arange(4, dtype=np.int64)\n"
+            "z = np.bincount(y, minlength=8)\n",  # pure counts: int64, no leak
+        )
+        assert lint_paths([path]) == []
+
+    def test_dtypeless_constructor_in_closure_flagged(self, tmp_path):
+        """The motivating case: a backward closure capturing a float64
+        scratch array allocated at forward time."""
+        source = (
+            "import numpy as np\n"
+            "from repro.nn.tensor import Tensor\n\n"
+            "def op(x):\n"
+            "    scratch = np.zeros(x.data.shape)\n\n"
+            "    def backward(grad):\n"
+            "        x._accumulate(grad * scratch)\n\n"
+            "    return Tensor._make(x.data, (x,), backward)\n"
+        )
+        path = write_scratch(tmp_path, source)
+        assert "REPRO-F64" in rule_ids(lint_paths([path]))
+
 
 class TestTensorDataMutation:
     def test_subscript_store_flagged(self, tmp_path):
@@ -413,6 +463,65 @@ class TestAtomicCheckpointIo:
 
     def test_np_load_not_flagged(self, tmp_path):
         source = "import numpy as np\n\ndef f(p):\n    return np.load(p)\n"
+        path = write_scratch(tmp_path, source, rel="src/repro/core/scratch.py")
+        assert lint_paths([path]) == []
+
+
+class TestFusedAttentionRouting:
+    SCORE_CHAIN = (
+        "import numpy as np\n\n"
+        "def attend(q, k, v, d):\n"
+        "    scores = (q @ k.transpose()) * (1.0 / np.sqrt(d))\n"
+        "    return scores @ v\n"
+    )
+
+    def test_score_chain_flagged_in_core(self, tmp_path):
+        path = write_scratch(tmp_path, self.SCORE_CHAIN, rel="src/repro/core/scratch.py")
+        findings = lint_paths([path])
+        assert rule_ids(findings) == {"REPRO-FUSED"}
+        assert "fused_causal_attention" in findings[0].message
+
+    def test_swapaxes_operand_flagged(self, tmp_path):
+        path = write_scratch(
+            tmp_path,
+            "import numpy as np\n\ndef f(q, k):\n    return q @ np.swapaxes(k, -1, -2)\n",
+            rel="src/repro/core/scratch.py",
+        )
+        assert rule_ids(lint_paths([path])) == {"REPRO-FUSED"}
+
+    def test_transpose_of_result_allowed(self, tmp_path):
+        """Transposing the matmul *output* (head merge) is not a score chain."""
+        path = write_scratch(
+            tmp_path,
+            "def f(w, v, b, n, d):\n"
+            "    return (w @ v).transpose(0, 2, 1, 3).reshape(b, n, d)\n",
+            rel="src/repro/core/scratch.py",
+        )
+        assert lint_paths([path]) == []
+
+    def test_plain_matmul_allowed(self, tmp_path):
+        path = write_scratch(
+            tmp_path, "def f(a, b):\n    return a @ b\n", rel="src/repro/core/scratch.py"
+        )
+        assert lint_paths([path]) == []
+
+    def test_nn_reference_impl_exempt(self, tmp_path):
+        """nn/ owns both legs of the fused/reference contract."""
+        path = write_scratch(tmp_path, self.SCORE_CHAIN, rel="src/repro/nn/scratch.py")
+        assert lint_paths([path]) == []
+
+    def test_baselines_exempt(self, tmp_path):
+        """Baselines are standalone reference models, not core call-sites."""
+        path = write_scratch(
+            tmp_path, self.SCORE_CHAIN, rel="src/repro/baselines/scratch.py"
+        )
+        assert lint_paths([path]) == []
+
+    def test_reference_leg_suppression_honored(self, tmp_path):
+        source = self.SCORE_CHAIN.replace(
+            "* (1.0 / np.sqrt(d))",
+            "* (1.0 / np.sqrt(d))  # repro-lint: disable=REPRO-FUSED -- reference leg",
+        )
         path = write_scratch(tmp_path, source, rel="src/repro/core/scratch.py")
         assert lint_paths([path]) == []
 

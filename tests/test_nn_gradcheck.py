@@ -10,7 +10,8 @@ import pytest
 
 from repro import nn
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.fused import fused_causal_attention, layer_norm, layer_norm_residual
+from repro.nn.tensor import Tensor, grad_arena
 
 RNG = np.random.default_rng(0)
 
@@ -335,6 +336,113 @@ class TestFunctional:
         np.testing.assert_allclose(w.grad[0], np.zeros(3))
         np.testing.assert_allclose(w.grad[4], np.ones(3))
         np.testing.assert_allclose(w.grad[1], np.zeros(3))
+
+
+class TestFusedOps:
+    """Finite-difference coverage for the hand-derived backward passes
+    of the fused kernels (repro.nn.fused)."""
+
+    def _attention_inputs(self, n=4, d=3):
+        q = RNG.normal(size=(n, d)).astype(np.float64)
+        k = RNG.normal(size=(n, d)).astype(np.float64)
+        v = RNG.normal(size=(n, d)).astype(np.float64)
+        bias = RNG.normal(size=(n, n)).astype(np.float32)
+        mask = np.triu(np.ones((n, n), dtype=bool), k=1)
+        return q, k, v, bias, mask
+
+    def _check_attention_arg(self, which, with_mask=True, with_bias=True):
+        q_data, k_data, v_data, bias, mask = self._attention_inputs()
+        fixed = {"q": q_data, "k": k_data, "v": v_data}
+
+        def run(arr):
+            parts = {
+                name: Tensor(
+                    (arr if name == which else fixed[name]).astype(np.float32),
+                    requires_grad=(name == which),
+                )
+                for name in ("q", "k", "v")
+            }
+            out = fused_causal_attention(
+                parts["q"], parts["k"], parts["v"],
+                relation_bias=bias if with_bias else None,
+                mask=mask if with_mask else None,
+            )
+            return (out * out).sum(), parts[which]
+
+        x_data = fixed[which]
+        out, tracked = run(x_data)
+        out.backward()
+        num = numerical_grad(lambda arr: float(run(arr)[0].data), x_data.copy())
+        np.testing.assert_allclose(tracked.grad, num, atol=2e-2, rtol=2e-2)
+
+    def test_fused_causal_attention_grad_q(self):
+        self._check_attention_arg("q")
+
+    def test_fused_causal_attention_grad_k(self):
+        self._check_attention_arg("k")
+
+    def test_fused_causal_attention_grad_v(self):
+        self._check_attention_arg("v")
+
+    def test_fused_causal_attention_grad_unmasked_unbiased(self):
+        self._check_attention_arg("q", with_mask=False, with_bias=False)
+
+    def test_fused_causal_attention_grad_bias(self):
+        q_data, k_data, v_data, bias, mask = self._attention_inputs()
+        q = Tensor(q_data.astype(np.float32))
+        k = Tensor(k_data.astype(np.float32))
+        v = Tensor(v_data.astype(np.float32))
+
+        def run(arr):
+            bt = Tensor(arr.astype(np.float32), requires_grad=True)
+            out = fused_causal_attention(q, k, v, relation_bias=bt, mask=mask)
+            return (out * out).sum(), bt
+
+        b_data = bias.astype(np.float64)
+        out, bt = run(b_data)
+        out.backward()
+        num = numerical_grad(lambda arr: float(run(arr)[0].data), b_data.copy())
+        np.testing.assert_allclose(bt.grad, num, atol=2e-2, rtol=2e-2)
+        # Blocked positions receive no score gradient.
+        assert (bt.grad[mask] == 0).all()
+
+    def test_fused_causal_attention_grad_under_arena(self):
+        with grad_arena():
+            self._check_attention_arg("q")
+
+    def test_fused_layer_norm_grad(self):
+        alpha = Tensor(RNG.normal(size=(6,)).astype(np.float32))
+        beta = Tensor(RNG.normal(size=(6,)).astype(np.float32))
+        check(lambda x: (layer_norm(x, alpha, beta) ** 2).sum(), (3, 6))
+
+    def test_fused_layer_norm_param_grads(self):
+        x = Tensor(RNG.normal(size=(4, 6)).astype(np.float32))
+        for which in ("alpha", "beta"):
+            def run(arr):
+                params = {
+                    "alpha": Tensor(np.ones(6, dtype=np.float32)),
+                    "beta": Tensor(np.zeros(6, dtype=np.float32)),
+                }
+                params[which] = Tensor(arr.astype(np.float32), requires_grad=True)
+                out = layer_norm(x, params["alpha"], params["beta"])
+                return (out * out).sum(), params[which]
+
+            p_data = RNG.normal(size=(6,)).astype(np.float64)
+            out, tracked = run(p_data)
+            out.backward()
+            num = numerical_grad(lambda arr: float(run(arr)[0].data), p_data.copy())
+            np.testing.assert_allclose(tracked.grad, num, atol=2e-2, rtol=2e-2)
+
+    def test_layer_norm_residual_grad(self):
+        sub = Tensor(RNG.normal(size=(3, 6)).astype(np.float32))
+        alpha = Tensor(np.ones(6, dtype=np.float32))
+        beta = Tensor(np.zeros(6, dtype=np.float32))
+
+        def fn(x):
+            h, normed = layer_norm_residual(x, sub, alpha, beta)
+            return (h * normed).sum()
+
+        check(fn, (3, 6))
 
 
 class TestGraphMechanics:

@@ -142,7 +142,7 @@ def checkpoint_paths(directory: str | Path) -> List[Path]:
     if not directory.is_dir():
         return []
     paths = []
-    for path in directory.glob(f"{_CKPT_PREFIX}*.npz"):
+    for path in sorted(directory.glob(f"{_CKPT_PREFIX}*.npz")):
         stem = path.name[len(_CKPT_PREFIX):].split(".")[0]
         if stem.isdigit():
             paths.append((int(stem), path))

@@ -1,21 +1,43 @@
-"""``repro.lint`` — repo-specific static analysis for the autograd substrate.
+"""``repro.lint`` — whole-program static analysis for the autograd substrate.
 
 The reproduction stands on a hand-written numpy autograd engine; a
 single silently-wrong backward or a stray float64 corrupts every
 Table-3/4 number downstream.  This package mechanically enforces the
-engine's contracts with an AST-based rules engine (see
-:mod:`repro.lint.rules` for the protocol and the general rules,
-:mod:`repro.lint.opcheck` for the op-inventory rules) and a small CLI
-(``python -m repro.lint`` / ``repro check``).
+engine's contracts.
+
+Two rule tiers share one registry (:mod:`repro.lint.rules` defines the
+protocol):
+
+* syntactic rules (:mod:`repro.lint.rules`, :mod:`repro.lint.opcheck`)
+  pattern-match single AST nodes;
+* semantic rules (:mod:`repro.lint.rules_semantic`) run real program
+  analyses — per-function control-flow graphs (:mod:`repro.lint.cfg`),
+  a forward dataflow fixpoint engine (:mod:`repro.lint.dataflow`), a
+  float64 taint lattice (:mod:`repro.lint.taint`) and a project-wide
+  symbol/import index (:mod:`repro.lint.symbols`).
+
+The engine (:mod:`repro.lint.engine`) adds a content-hash findings
+cache, a checked-in baseline for grandfathered violations
+(:mod:`repro.lint.baseline`), SARIF 2.1.0 export
+(:mod:`repro.lint.sarif`), git-scoped ``--changed`` runs and mechanical
+``--fix`` rewrites (:mod:`repro.lint.autofix`); the CLI is
+``python -m repro.lint`` / ``repro check``.
 
 The runtime counterpart — NaN/Inf detection the moment a value is
 produced — lives in :mod:`repro.nn.anomaly`.
 """
 
-from .engine import lint_paths, main
+from .baseline import Baseline, BaselineEntry
+from .cache import AnalysisCache
+from .cfg import CFG, build_cfg
+from .dataflow import Definition, FixpointResult, ForwardAnalysis, ReachingDefinitions
+from .engine import LintRun, lint_paths, main, run_lint
 from .findings import Finding, Suppression, SuppressionIndex
 from .opcheck import op_inventory
-from .rules import REGISTRY, ModuleInfo, Rule, register
+from .rules import REGISTRY, ModuleInfo, Rule, SyntacticFloat64Rule, register
+from .sarif import findings_from_sarif, to_sarif
+from .symbols import ModuleSymbols, ProjectIndex
+from .taint import ModuleTaint, Taint
 
 __all__ = [
     "Finding",
@@ -26,6 +48,24 @@ __all__ = [
     "REGISTRY",
     "register",
     "lint_paths",
+    "run_lint",
+    "LintRun",
     "op_inventory",
     "main",
+    "build_cfg",
+    "CFG",
+    "ForwardAnalysis",
+    "FixpointResult",
+    "ReachingDefinitions",
+    "Definition",
+    "ModuleSymbols",
+    "ProjectIndex",
+    "ModuleTaint",
+    "Taint",
+    "SyntacticFloat64Rule",
+    "Baseline",
+    "BaselineEntry",
+    "AnalysisCache",
+    "to_sarif",
+    "findings_from_sarif",
 ]

@@ -1,0 +1,173 @@
+"""Mechanical fixes for ``repro check --fix``.
+
+Three fix classes, all conservative — a fix is only applied when the
+offending call sits on a single line and the rewrite is provably
+behaviour-preserving (or behaviour-*correcting*, for the dtype pins):
+
+* **unused suppressions** — a ``# repro-lint: disable=...`` comment that
+  silenced nothing this run is dead weight that hides future findings;
+  the comment is stripped (the code stays).
+* **dtype pins** — ``np.zeros/ones/empty/full(...)`` without ``dtype``
+  (the syntactic half of REPRO-F64) gains ``dtype=np.float32``.
+  ``np.arange`` is deliberately excluded: pinning float32 there would
+  *change* integer semantics rather than fix a float64 default.
+* **astype copies** — ``x.astype(np.float32)`` inside backward closures
+  (REPRO-ASTYPE-COPY) gains ``copy=False``.
+
+Fixes are computed as (line, col) text edits and applied right-to-left
+per line so earlier edits never invalidate later offsets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .findings import SUPPRESS_RE, Finding
+from .rules import _collect_numpy_aliases
+
+__all__ = ["fix_source", "FixOutcome"]
+
+#: allocators safe to pin to float32 (arange excluded: integer semantics).
+_PINNABLE = {"numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full"}
+
+
+@dataclass
+class FixOutcome:
+    source: str
+    applied: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def _numpy_alias(tree: ast.Module) -> Optional[str]:
+    """The local name bound to the ``numpy`` top-level module."""
+    for local, canonical in _collect_numpy_aliases(tree).items():
+        if canonical == "numpy":
+            return local
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _insert_kwarg(line: str, call: ast.Call, kwarg: str) -> Optional[str]:
+    """Insert ``, kwarg`` before the closing paren of a single-line call."""
+    close = call.end_col_offset - 1
+    if close < 0 or close >= len(line) or line[close] != ")":
+        return None
+    head = line[:close].rstrip()
+    sep = "" if head.endswith((",", "(")) else ", "
+    return f"{head}{sep}{kwarg}{line[close:]}"
+
+
+def fix_source(
+    path: Path,
+    source: str,
+    findings: List[Finding],
+    unused_suppression_lines: List[int],
+    aliases: Optional[Dict[str, str]] = None,
+) -> FixOutcome:
+    """Apply every applicable mechanical fix; returns the new source."""
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return FixOutcome(source=source)
+    if aliases is None:
+        aliases = _collect_numpy_aliases(tree)
+    np_alias = None
+    for local, canonical in aliases.items():
+        if canonical == "numpy":
+            np_alias = local
+            break
+
+    lines = source.splitlines(keepends=True)
+    applied: List[str] = []
+
+    # Index single-line calls by line number for the finding-driven fixes.
+    calls_by_line: Dict[int, List[ast.Call]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and node.lineno == node.end_lineno:
+            calls_by_line.setdefault(node.lineno, []).append(node)
+
+    def canonical_of(call: ast.Call) -> Optional[str]:
+        name = _dotted(call.func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        target = aliases.get(head)
+        if target is None:
+            return None
+        return f"{target}.{rest}" if rest else target
+
+    def rewrite(lineno: int, new_text: str, note: str) -> None:
+        if 1 <= lineno <= len(lines):
+            eol = ""
+            if lines[lineno - 1].endswith("\r\n"):
+                eol = "\r\n"
+            elif lines[lineno - 1].endswith("\n"):
+                eol = "\n"
+            lines[lineno - 1] = new_text.rstrip("\r\n") + eol
+            applied.append(f"{path.name}:{lineno}: {note}")
+
+    handled: set = set()
+    for finding in findings:
+        key: Tuple[int, str] = (finding.line, finding.rule_id)
+        if key in handled:
+            continue
+        line_text = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if finding.rule_id == "REPRO-F64" and "dtype-less" in finding.message:
+            if np_alias is None:
+                continue
+            for call in calls_by_line.get(finding.line, []):
+                if canonical_of(call) in _PINNABLE and not any(
+                    kw.arg == "dtype" for kw in call.keywords
+                ):
+                    fixed = _insert_kwarg(line_text, call, f"dtype={np_alias}.float32")
+                    if fixed is not None:
+                        rewrite(finding.line, fixed, "pinned dtype=float32")
+                        handled.add(key)
+                    break
+        elif finding.rule_id == "REPRO-ASTYPE-COPY":
+            for call in calls_by_line.get(finding.line, []):
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "astype"
+                    and not any(kw.arg == "copy" for kw in call.keywords)
+                ):
+                    fixed = _insert_kwarg(line_text, call, "copy=False")
+                    if fixed is not None:
+                        rewrite(finding.line, fixed, "added copy=False")
+                        handled.add(key)
+                    break
+
+    # Strip suppressions that silenced nothing.
+    for lineno in unused_suppression_lines:
+        if not (1 <= lineno <= len(lines)):
+            continue
+        text = lines[lineno - 1]
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        stripped = (text[: match.start()] + text[match.end():])
+        if not stripped.strip():
+            lines[lineno - 1] = ""
+            applied.append(f"{path.name}:{lineno}: removed unused suppression line")
+        else:
+            eol = "\n" if text.endswith("\n") else ""
+            lines[lineno - 1] = stripped.rstrip() + eol
+            applied.append(f"{path.name}:{lineno}: removed unused suppression")
+
+    return FixOutcome(source="".join(lines), applied=applied)

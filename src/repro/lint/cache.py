@@ -1,0 +1,131 @@
+"""Content-hash incremental cache for lint findings.
+
+Every semantic analysis in :mod:`repro.lint` is intra-module: a file's
+findings depend only on its own source text plus two run-wide inputs —
+the engine/rule configuration and the gradcheck identifier set (the one
+cross-file input, consumed by ``REPRO-GRADCHECK``).  That makes per-file
+caching sound: the key is
+
+    sha256(source) x engine schema (version + sorted rule ids) x
+    sha256(sorted gradcheck names)
+
+and a hit replays the file's post-suppression findings (plus its unused
+suppression lines, which ``--fix`` consumes) without re-running a single
+rule.  Warm runs therefore cost one hash per file and one JSON load.
+
+The cache lives at ``<repo root>/.repro-lint-cache.json`` (git-ignored)
+and is written atomically via temp-file + rename so concurrent lint
+runs cannot tear it.  Any schema drift — a rule added, removed, or the
+engine version bumped — invalidates everything at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["AnalysisCache", "CACHE_FILENAME", "schema_digest"]
+
+CACHE_FILENAME = ".repro-lint-cache.json"
+
+#: Bump on any change to rule logic or finding shape: invalidates every
+#: cached entry at once.
+ENGINE_VERSION = 2
+
+
+def schema_digest(rule_ids: List[str], gradcheck_digest: str) -> str:
+    payload = json.dumps(
+        {
+            "engine": ENGINE_VERSION,
+            "rules": sorted(rule_ids),
+            "gradcheck": gradcheck_digest,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Per-file findings cache, keyed on content hash."""
+
+    def __init__(self, path: Optional[Path], schema: str) -> None:
+        self.path = path
+        self.schema = schema
+        self.entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # -- persistence ----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Optional[Path], schema: str) -> "AnalysisCache":
+        cache = cls(path, schema)
+        if path is None or not path.exists():
+            return cache
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if doc.get("schema") != schema:
+            # Engine/rule configuration changed: every entry is invalid.
+            cache._dirty = True
+            return cache
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        doc = {"schema": self.schema, "entries": self.entries}
+        payload = json.dumps(doc, separators=(",", ":"))
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            # A read-only checkout must not break linting.
+            pass
+
+    # -- per-file lookup ------------------------------------------------
+
+    def get(
+        self, rel_path: str, source: str
+    ) -> Optional[Tuple[List[Finding], List[int]]]:
+        """Cached (findings, unused suppression lines) or None."""
+        entry = self.entries.get(rel_path)
+        if entry is None or entry.get("digest") != source_digest(source):
+            self.misses += 1
+            return None
+        self.hits += 1
+        findings = [Finding.from_dict(data) for data in entry.get("findings", [])]
+        return findings, list(entry.get("unused_suppressions", []))
+
+    def put(
+        self,
+        rel_path: str,
+        source: str,
+        findings: List[Finding],
+        unused_suppressions: List[int],
+    ) -> None:
+        self.entries[rel_path] = {
+            "digest": source_digest(source),
+            "findings": [f.to_dict() for f in findings],
+            "unused_suppressions": list(unused_suppressions),
+        }
+        self._dirty = True

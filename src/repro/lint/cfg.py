@@ -1,0 +1,344 @@
+"""Per-function control-flow graphs for the dataflow passes.
+
+The CFG is statement-granular: every *simple* statement becomes one
+node, and every compound statement contributes a *header* node (the
+``if``/``while`` test, the ``for`` target binding, the ``with`` item
+binding, ...) whose body statements become their own nodes.  Dataflow
+transfer functions must therefore only interpret the header part of a
+compound node — :func:`binding_occurrences` encodes exactly which names
+a node binds and from which value expression, so analyses never walk
+into a body that the graph already models with edges.
+
+The builder covers the full statement grammar the repo uses: ``if`` /
+``while`` / ``for`` (with ``break``/``continue``/``else``), ``try`` /
+``except`` / ``finally`` (conservatively: every node inside a ``try``
+body may jump to every handler), ``with``, ``match``, ``return`` /
+``raise``, and nested ``def``/``class`` (opaque single nodes — nested
+functions get their own CFG when analysed).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Binding",
+    "build_cfg",
+    "binding_occurrences",
+    "node_value_exprs",
+]
+
+
+@dataclass
+class CFGNode:
+    """One statement (or compound-statement header) in the graph."""
+
+    index: int
+    stmt: Optional[ast.AST]  # None for the synthetic entry/exit nodes
+    kind: str  # "entry" | "exit" | "stmt" | "branch" | "loop" | "with" | "except"
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    nodes: List[CFGNode]
+    entry: int
+    exit: int
+    function: Optional[ast.AST] = None
+
+    def node(self, index: int) -> CFGNode:
+        return self.nodes[index]
+
+    def __iter__(self) -> Iterator[CFGNode]:
+        return iter(self.nodes)
+
+    def reverse_postorder(self) -> List[int]:
+        """Node indices in reverse postorder from the entry (the classic
+        iteration order that makes forward fixpoints converge fast)."""
+        seen = [False] * len(self.nodes)
+        order: List[int] = []
+
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen[self.entry] = True
+        while stack:
+            node_idx, child_pos = stack.pop()
+            succs = self.nodes[node_idx].succs
+            if child_pos < len(succs):
+                stack.append((node_idx, child_pos + 1))
+                child = succs[child_pos]
+                if not seen[child]:
+                    seen[child] = True
+                    stack.append((child, 0))
+            else:
+                order.append(node_idx)
+        order.reverse()
+        return order
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One name bound by a CFG node.
+
+    ``value`` is the expression the name is bound from when one exists
+    syntactically (plain assignment); ``source`` tags the non-expression
+    cases an analysis may want to model specially:
+
+    ==============  ====================================================
+    ``"assign"``    ``name = value`` (value expr available)
+    ``"aug"``       ``name OP= value`` (old value participates)
+    ``"destructure"`` tuple/list unpacking element (value = whole RHS)
+    ``"for"``       loop target bound from the iterable's elements
+    ``"with"``      context-manager result
+    ``"except"``    caught exception
+    ``"def"``       nested function/class/import binding (opaque)
+    ``"arg"``       function parameter (entry node)
+    ==============  ====================================================
+    """
+
+    name: str
+    value: Optional[ast.expr]
+    source: str
+
+
+def _target_bindings(target: ast.expr, value: Optional[ast.expr], source: str) -> List[Binding]:
+    if isinstance(target, ast.Name):
+        return [Binding(target.id, value, source)]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[Binding] = []
+        for elt in target.elts:
+            if isinstance(elt, ast.Starred):
+                elt = elt.value
+            out.extend(_target_bindings(elt, value, "destructure"))
+        return out
+    # Attribute / subscript targets bind no local name.
+    return []
+
+
+def binding_occurrences(node: CFGNode) -> List[Binding]:
+    """Local names bound by ``node`` (header semantics for compounds)."""
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind == "entry" and isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = stmt.args
+        names = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]
+        return [Binding(a.arg, None, "arg") for a in names]
+    if isinstance(stmt, ast.Assign):
+        out: List[Binding] = []
+        for target in stmt.targets:
+            out.extend(_target_bindings(target, stmt.value, "assign"))
+        return out
+    if isinstance(stmt, ast.AnnAssign):
+        if stmt.value is None:
+            return []
+        return _target_bindings(stmt.target, stmt.value, "assign")
+    if isinstance(stmt, ast.AugAssign):
+        return _target_bindings(stmt.target, stmt.value, "aug")
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _target_bindings(stmt.target, stmt.iter, "for")
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out = []
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                out.extend(_target_bindings(item.optional_vars, item.context_expr, "with"))
+        return out
+    if isinstance(stmt, ast.ExceptHandler):
+        return [Binding(stmt.name, None, "except")] if stmt.name else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [Binding(stmt.name, None, "def")]
+    if isinstance(stmt, ast.Import):
+        return [
+            Binding((a.asname or a.name.split(".")[0]), None, "def") for a in stmt.names
+        ]
+    if isinstance(stmt, ast.ImportFrom):
+        return [Binding(a.asname or a.name, None, "def") for a in stmt.names]
+    if isinstance(stmt, (ast.NamedExpr,)):  # pragma: no cover - stmts only
+        return [Binding(stmt.target.id, stmt.value, "assign")]
+    return []
+
+
+def node_value_exprs(node: CFGNode) -> List[ast.expr]:
+    """The expressions a node *evaluates* (header semantics): what a
+    use-analysis should walk without descending into compound bodies."""
+    stmt = node.stmt
+    if stmt is None or node.kind == "entry":
+        return []
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.value]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, ast.Assert):
+        return [e for e in (stmt.test, stmt.msg) if e is not None]
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return []
+
+
+class _Builder:
+    def __init__(self, function: Optional[ast.AST]) -> None:
+        self.nodes: List[CFGNode] = []
+        self.function = function
+        entry_stmt = function if isinstance(
+            function, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) else None
+        self.entry = self._new(entry_stmt, "entry")
+        self.exit = self._new(None, "exit")
+        # Stack of (loop_header_index, break_frontier) for break/continue.
+        self._loops: List[Tuple[int, List[int]]] = []
+
+    def _new(self, stmt: Optional[ast.AST], kind: str) -> int:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    def _link(self, frontier: Sequence[int], dst: int) -> None:
+        for src in frontier:
+            self._edge(src, dst)
+
+    def build(self, body: Sequence[ast.stmt]) -> "CFG":
+        frontier = self._sequence(body, [self.entry])
+        self._link(frontier, self.exit)
+        return CFG(nodes=self.nodes, entry=self.entry, exit=self.exit, function=self.function)
+
+    def _sequence(self, stmts: Sequence[ast.stmt], frontier: List[int]) -> List[int]:
+        for stmt in stmts:
+            if not frontier:
+                # Unreachable code after return/raise/break: still build
+                # nodes (rules may inspect them) but leave them dangling.
+                frontier = []
+            frontier = self._statement(stmt, frontier)
+        return frontier
+
+    def _statement(self, stmt: ast.stmt, frontier: List[int]) -> List[int]:
+        if isinstance(stmt, ast.If):
+            head = self._new(stmt, "branch")
+            self._link(frontier, head)
+            then_out = self._sequence(stmt.body, [head])
+            else_out = self._sequence(stmt.orelse, [head]) if stmt.orelse else [head]
+            return then_out + else_out
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            kind = "branch" if isinstance(stmt, ast.While) else "loop"
+            head = self._new(stmt, kind)
+            self._link(frontier, head)
+            self._loops.append((head, []))
+            body_out = self._sequence(stmt.body, [head])
+            self._link(body_out, head)  # back edge
+            _, breaks = self._loops.pop()
+            after = [head]
+            if stmt.orelse:
+                after = self._sequence(stmt.orelse, [head])
+            return after + breaks
+
+        if isinstance(stmt, ast.Try):
+            before = len(self.nodes)
+            body_out = self._sequence(stmt.body, frontier)
+            body_nodes = list(range(before, len(self.nodes)))
+            orelse_out = self._sequence(stmt.orelse, body_out) if stmt.orelse else body_out
+            handler_outs: List[int] = []
+            for handler in stmt.handlers:
+                head = self._new(handler, "except")
+                # Conservative: any statement in the try body (or the
+                # edge into it) may raise into any handler.
+                self._link(frontier, head)
+                for idx in body_nodes:
+                    self._edge(idx, head)
+                handler_outs.extend(self._sequence(handler.body, [head]))
+            merged = orelse_out + handler_outs
+            if stmt.finalbody:
+                return self._sequence(stmt.finalbody, merged)
+            return merged
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._new(stmt, "with")
+            self._link(frontier, head)
+            return self._sequence(stmt.body, [head])
+
+        if isinstance(stmt, ast.Match):
+            head = self._new(stmt, "branch")
+            self._link(frontier, head)
+            outs: List[int] = []
+            exhaustive = False
+            for case in stmt.cases:
+                outs.extend(self._sequence(case.body, [head]))
+                if (
+                    isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                    and case.guard is None
+                ):
+                    exhaustive = True
+            if not exhaustive:
+                outs.append(head)
+            return outs
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            node = self._new(stmt, "stmt")
+            self._link(frontier, node)
+            self._edge(node, self.exit)
+            return []
+
+        if isinstance(stmt, ast.Break):
+            node = self._new(stmt, "stmt")
+            self._link(frontier, node)
+            if self._loops:
+                self._loops[-1][1].append(node)
+            return []
+
+        if isinstance(stmt, ast.Continue):
+            node = self._new(stmt, "stmt")
+            self._link(frontier, node)
+            if self._loops:
+                self._edge(node, self._loops[-1][0])
+            return []
+
+        # Simple statements, nested def/class (opaque), assert, etc.
+        node = self._new(stmt, "stmt")
+        self._link(frontier, node)
+        if isinstance(stmt, ast.Assert):
+            self._edge(node, self.exit)  # may raise
+        return [node]
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Build the CFG of a function (or an ``ast.Module`` body)."""
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return _Builder(fn).build(fn.body)
+    if isinstance(fn, ast.Module):
+        return _Builder(None).build(fn.body)
+    raise TypeError(f"cannot build a CFG for {type(fn).__name__}")

@@ -2,26 +2,52 @@
 
 Usage
 -----
-    python -m repro.lint [paths...]          # default: src
-    python -m repro.lint --list-rules
-    repro check [paths...]                   # same engine via the main CLI
+    python -m repro.lint [paths...]            # default: src
+    python -m repro.lint --list-rules          # registry with metadata
+    python -m repro.lint --explain REPRO-F64   # one rule, in depth
+    python -m repro.lint --changed             # only git-changed files
+                                               # plus their importers
+    python -m repro.lint --json out.json --sarif out.sarif
+    python -m repro.lint --write-baseline      # grandfather current findings
+    python -m repro.lint --fix                 # apply mechanical fixes
+    repro check [paths...]                     # same engine via the main CLI
 
-Exit status is 0 when no findings survive suppression filtering, 1
-otherwise — tier-1 tests and CI both gate on it.
+Exit status is 0 when no findings survive suppression + baseline
+filtering, 1 otherwise, 2 on usage errors — tier-1 tests and CI both
+gate on it.
+
+Pipeline per run: discover files → parse → build the project symbol
+index → per file, replay cached findings on a content-hash hit or run
+every applicable rule (inline suppressions filtered here) → aggregate →
+subtract the checked-in baseline → report.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
+import subprocess
 import sys
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from . import opcheck  # noqa: F401  (imported for its rule registrations)
+from . import rules_semantic  # noqa: F401  (dataflow rule registrations)
+from .autofix import fix_source
+from .baseline import BASELINE_FILENAME, Baseline
+from .cache import CACHE_FILENAME, AnalysisCache, schema_digest
 from .findings import Finding
 from .rules import REGISTRY, ModuleInfo
+from .sarif import write_sarif
+from .symbols import ProjectIndex, module_dotted_name
 
 GRADCHECK_RELPATH = Path("tests") / "test_nn_gradcheck.py"
+
+#: Files that mark a repository root during the upward walk.
+_ROOT_MARKERS = (BASELINE_FILENAME, "pyproject.toml", ".git")
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
@@ -48,44 +74,309 @@ def find_gradcheck_file(paths: Sequence[Path]) -> Optional[Path]:
     return None
 
 
-def lint_paths(
+def find_repo_root(paths: Sequence[Path]) -> Optional[Path]:
+    """Nearest ancestor of the lint targets carrying a root marker.
+    None (no cache, no baseline) for bare scratch directories."""
+    seen = set()
+    for start in paths:
+        start = start.resolve()
+        for candidate in [start, *start.parents]:
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+                return candidate
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rule metadata accessors (attributes are optional on third-party rules)
+# ---------------------------------------------------------------------------
+
+
+def rule_severity(rule) -> str:
+    return getattr(rule, "severity", "error")
+
+
+def rule_family(rule) -> str:
+    return getattr(rule, "family", "general")
+
+
+def rule_is_semantic(rule) -> bool:
+    return bool(getattr(rule, "semantic", False))
+
+
+def rule_example(rule) -> str:
+    return getattr(rule, "example", "")
+
+
+def find_rule(rule_id: str):
+    for rule in REGISTRY:
+        if rule.rule_id == rule_id:
+            return rule
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The run record
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintRun:
+    """Everything one engine invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    root: Optional[Path] = None
+    elapsed: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    baseline_suppressed: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
+    #: display path -> suppression comment lines that silenced nothing.
+    unused_suppressions: Dict[str, List[int]] = field(default_factory=dict)
+    #: display path -> real path, for --fix and baseline fingerprints.
+    paths: Dict[str, Path] = field(default_factory=dict)
+    #: display path -> source text (for baseline fingerprints / fixes).
+    sources: Dict[str, str] = field(default_factory=dict)
+    #: findings before baseline subtraction (for --write-baseline).
+    pre_baseline: List[Finding] = field(default_factory=list)
+    changed_selected: Optional[int] = None
+
+
+def _display(file_path: Path) -> str:
+    try:
+        return str(file_path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(file_path)
+
+
+def _git_changed(root: Path, base: Optional[str] = None) -> Optional[Set[Path]]:
+    """Python files changed vs HEAD plus untracked ones; None when git
+    is unavailable (caller falls back to a full run).  With ``base``
+    (e.g. ``origin/main``), committed changes since the merge base are
+    included too — the PR-scoped CI mode, where the worktree is clean."""
+    changed: Set[Path] = set()
+    cmds = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    if base:
+        cmds.insert(0, ["git", "diff", "--name-only", f"{base}...HEAD"])
+    for cmd in cmds:
+        try:
+            proc = subprocess.run(
+                cmd, cwd=root, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                changed.add((root / line).resolve())
+    return changed
+
+
+def run_lint(
     paths: Sequence[Path],
     gradcheck_path: Optional[Path] = None,
-) -> List[Finding]:
-    """Run every registered rule over ``paths`` and return live findings.
+    *,
+    use_cache: bool = True,
+    use_baseline: bool = True,
+    baseline_path: Optional[Path] = None,
+    changed_only: bool = False,
+    changed_base: Optional[str] = None,
+) -> LintRun:
+    """The full engine pipeline; :func:`lint_paths` is the thin wrapper
+    returning only the finding list."""
+    started = time.perf_counter()
+    run = LintRun()
+    run.root = find_repo_root(paths)
 
-    Suppressed findings are dropped — except for ``REPRO-SUP`` itself,
-    which cannot be silenced (otherwise the justification requirement
-    could suppress its own enforcement).
-    """
     if gradcheck_path is None:
         gradcheck_path = find_gradcheck_file(paths)
     covered = None
+    gradcheck_digest = "none"
     if gradcheck_path is not None and gradcheck_path.is_file():
-        covered = frozenset(opcheck.gradcheck_names(gradcheck_path.read_text(encoding="utf-8")))
+        text = gradcheck_path.read_text(encoding="utf-8")
+        covered = frozenset(opcheck.gradcheck_names(text))
+        gradcheck_digest = hashlib.sha256(
+            "\n".join(sorted(covered)).encode("utf-8")
+        ).hexdigest()[:16]
 
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
+    cache: Optional[AnalysisCache] = None
+    if use_cache and run.root is not None:
+        schema = schema_digest([r.rule_id for r in REGISTRY], gradcheck_digest)
+        cache = AnalysisCache.load(run.root / CACHE_FILENAME, schema)
+
+    # -- discover + read everything; parse lazily.  Every analysis is
+    # intra-module, so a content-hash cache hit replays findings with no
+    # parse at all; only --changed needs the full import graph (and so
+    # parses everything to build it).
+    files = list(iter_python_files(paths))
+    sources: Dict[Path, str] = {}
+    parse_failures: List[Finding] = []
+    for file_path in files:
+        display = _display(file_path)
+        run.paths[display] = file_path
         try:
-            display = str(file_path.relative_to(Path.cwd()))
-        except ValueError:
-            display = str(file_path)
-        try:
-            module = ModuleInfo.parse(file_path, display=display)
-        except SyntaxError as exc:
-            findings.append(
-                Finding(display, exc.lineno or 1, "REPRO-SYNTAX", f"syntax error: {exc.msg}")
+            sources[file_path] = file_path.read_text(encoding="utf-8")
+            run.sources[display] = sources[file_path]
+        except OSError as exc:
+            parse_failures.append(
+                Finding(display, 1, "REPRO-SYNTAX", f"unreadable file: {exc}")
             )
-            continue
+
+    def parse(file_path: Path) -> Optional[ModuleInfo]:
+        display = _display(file_path)
+        try:
+            module = ModuleInfo.parse(
+                file_path, source=sources[file_path], display=display
+            )
+        except SyntaxError as exc:
+            parse_failures.append(
+                Finding(
+                    display, exc.lineno or 1, "REPRO-SYNTAX", f"syntax error: {exc.msg}"
+                )
+            )
+            return None
         module.gradcheck_names = covered
+        return module
+
+    # -- --changed: select edited files plus their transitive importers
+    # (requires the whole-program import graph, hence a full parse).
+    selected: Optional[Set[Path]] = None
+    if changed_only and run.root is not None:
+        git_files = _git_changed(run.root, changed_base)
+        if git_files is not None:
+            modules = [m for m in map(parse, sources) if m is not None]
+            project = ProjectIndex.build(modules)
+            for module in modules:
+                module.symbols = project.for_path(module.path)
+                module.project = project
+            known = {m.path.resolve() for m in modules}
+            seeds = {
+                module_dotted_name(p) for p in git_files if p in known
+            } - {None}
+            closure = project.importers_closure(seeds)  # type: ignore[arg-type]
+            selected = {
+                m.path.resolve()
+                for m in modules
+                if (module_dotted_name(m.path) in closure)
+                or m.path.resolve() in git_files
+            }
+            run.changed_selected = len(selected)
+            parsed_by_path = {m.path: m for m in modules}
+    else:
+        parsed_by_path = {}
+
+    # -- per-file rule dispatch (cache-aware)
+    all_findings: List[Finding] = []
+    for file_path, source in sources.items():
+        if selected is not None and file_path.resolve() not in selected:
+            continue
+        display = _display(file_path)
+        run.files_checked += 1
+        cache_key = str(file_path.resolve())
+        if cache is not None:
+            hit = cache.get(cache_key, source)
+            if hit is not None:
+                cached_findings, unused = hit
+                all_findings.extend(
+                    replace(f, path=display) for f in cached_findings
+                )
+                if unused:
+                    run.unused_suppressions[display] = unused
+                continue
+        module = parsed_by_path.get(file_path) or parse(file_path)
+        if module is None:
+            continue
+        file_findings: List[Finding] = []
+        used_lines: Set[int] = set()
         for rule in REGISTRY:
             if not rule.applies_to(module):
                 continue
+            severity = rule_severity(rule)
             for finding in rule.check(module):
-                if finding.rule_id != "REPRO-SUP" and module.suppressions.is_suppressed(finding):
+                if finding.severity == "error" and severity != "error":
+                    finding = replace(finding, severity=severity)
+                if finding.rule_id != "REPRO-SUP" and module.suppressions.is_suppressed(
+                    finding
+                ):
+                    used_lines.add(finding.line)
                     continue
-                findings.append(finding)
-    return sorted(findings)
+                file_findings.append(finding)
+        unused = [
+            s.line
+            for s in module.suppressions.all()
+            if s.line not in used_lines
+        ]
+        if unused:
+            run.unused_suppressions[display] = unused
+        all_findings.extend(file_findings)
+        if cache is not None:
+            cache.put(cache_key, source, file_findings, unused)
+
+    all_findings.extend(parse_failures)
+    if cache is not None:
+        # Note: entries for deleted files are left behind deliberately —
+        # a lint run scoped to a subdirectory must not evict entries for
+        # files outside its path set, and any schema bump clears all.
+        cache.save()
+        run.cache_hits = cache.hits
+        run.cache_misses = cache.misses
+
+    run.pre_baseline = sorted(all_findings)
+
+    # -- baseline subtraction
+    findings = run.pre_baseline
+    if use_baseline and run.root is not None:
+        bpath = baseline_path or (run.root / BASELINE_FILENAME)
+        if bpath.is_file():
+            baseline = Baseline.load(bpath)
+            result = baseline.filter(findings, run.root, run.sources, run.paths)
+            findings = result.kept
+            run.baseline_suppressed = result.suppressed
+            # Staleness is only meaningful when every file was linted; a
+            # --changed run legitimately skips files with baselined hits.
+            if selected is None:
+                run.stale_baseline = result.stale
+    run.findings = sorted(findings)
+    run.elapsed = time.perf_counter() - started
+    return run
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    gradcheck_path: Optional[Path] = None,
+    *,
+    use_cache: bool = True,
+    use_baseline: bool = True,
+    changed_only: bool = False,
+) -> List[Finding]:
+    """Run every registered rule over ``paths`` and return live findings.
+
+    Inline-suppressed findings are dropped — except for ``REPRO-SUP``
+    itself, which cannot be silenced (otherwise the justification
+    requirement could suppress its own enforcement).  Findings matching
+    the repo baseline (``.repro-lint-baseline.json`` at the discovered
+    repo root) are also dropped; everything else survives.
+    """
+    return run_lint(
+        paths,
+        gradcheck_path,
+        use_cache=use_cache,
+        use_baseline=use_baseline,
+        changed_only=changed_only,
+    ).findings
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,7 +394,51 @@ def build_parser() -> argparse.ArgumentParser:
         "coverage (default: auto-discovered tests/test_nn_gradcheck.py)",
     )
     parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule registry and exit"
+        "--list-rules", action="store_true",
+        help="print the rule registry (id, severity, family, kind) and exit",
+    )
+    parser.add_argument(
+        "--explain", metavar="RULE-ID", default=None,
+        help="print one rule's full description and example, then exit",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write findings as a JSON array to PATH",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write findings as a SARIF 2.1.0 document to PATH",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline file (default: <repo root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined findings too",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="absorb all current findings into the baseline file and exit "
+        "(existing justifications are preserved)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash findings cache",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only git-changed files plus their transitive importers",
+    )
+    parser.add_argument(
+        "--changed-base", metavar="REF", default=None,
+        help="with --changed, also include files committed since the "
+        "merge base with REF (e.g. origin/main); implies --changed",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply mechanical fixes (unused suppressions, dtype pins, "
+        "astype copy=False) and re-lint",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress the summary line"
@@ -111,23 +446,151 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_rules() -> None:
+    header = f"{'RULE':18s} {'SEV':7s} {'FAMILY':13s} {'KIND':9s} DESCRIPTION"
+    print(header)
+    print("-" * len(header))
+    for rule in REGISTRY:
+        kind = "semantic" if rule_is_semantic(rule) else "syntactic"
+        print(
+            f"{rule.rule_id:18s} {rule_severity(rule):7s} "
+            f"{rule_family(rule):13s} {kind:9s} {rule.description}"
+        )
+
+
+def _print_explain(rule_id: str) -> int:
+    rule = find_rule(rule_id)
+    if rule is None:
+        known = ", ".join(r.rule_id for r in REGISTRY)
+        print(f"repro.lint: unknown rule '{rule_id}' (known: {known})", file=sys.stderr)
+        return 2
+    kind = "semantic (dataflow)" if rule_is_semantic(rule) else "syntactic"
+    print(f"{rule.rule_id}  [{rule_severity(rule)}, {rule_family(rule)}, {kind}]")
+    print()
+    print(rule.description)
+    example = rule_example(rule)
+    if example:
+        print()
+        print("Example:")
+        for line in example.splitlines():
+            print(f"    {line}")
+    return 0
+
+
+def _apply_fixes(run: LintRun, quiet: bool) -> int:
+    """Apply mechanical fixes from ``run``; returns files changed."""
+    by_file: Dict[str, List[Finding]] = {}
+    for finding in run.findings:
+        by_file.setdefault(finding.path, []).append(finding)
+    touched = 0
+    for display in sorted(set(by_file) | set(run.unused_suppressions)):
+        real = run.paths.get(display)
+        source = run.sources.get(display)
+        if real is None or source is None:
+            continue
+        outcome = fix_source(
+            real,
+            source,
+            by_file.get(display, []),
+            run.unused_suppressions.get(display, []),
+        )
+        if outcome.changed:
+            real.write_text(outcome.source, encoding="utf-8")
+            touched += 1
+            if not quiet:
+                for note in outcome.applied:
+                    print(f"repro.lint: fixed {note}")
+    return touched
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        for rule in REGISTRY:
-            print(f"{rule.rule_id:20s} {rule.description}")
+        _print_rules()
         return 0
+    if args.explain:
+        return _print_explain(args.explain)
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
         print(f"repro.lint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
     gradcheck = Path(args.gradcheck_file) if args.gradcheck_file else None
-    findings = lint_paths(paths, gradcheck_path=gradcheck)
-    for finding in findings:
+    baseline_path = Path(args.baseline) if args.baseline else None
+
+    def _run(use_cache: bool = not args.no_cache) -> LintRun:
+        return run_lint(
+            paths,
+            gradcheck_path=gradcheck,
+            use_cache=use_cache,
+            use_baseline=not args.no_baseline and not args.write_baseline,
+            baseline_path=baseline_path,
+            changed_only=args.changed or args.changed_base is not None,
+            changed_base=args.changed_base,
+        )
+
+    run = _run()
+
+    if args.write_baseline:
+        root = run.root or Path.cwd()
+        bpath = baseline_path or (root / BASELINE_FILENAME)
+        old_justifications: Dict[str, str] = {}
+        if bpath.is_file():
+            for fp, entry in Baseline.load(bpath).entries.items():
+                old_justifications[fp] = entry.justification
+        baseline = Baseline.from_findings(
+            run.pre_baseline, root, run.sources, old_justifications, run.paths
+        )
+        baseline.save(bpath)
+        print(
+            f"repro.lint: wrote {len(baseline)} baseline entr"
+            f"{'y' if len(baseline) == 1 else 'ies'} "
+            f"({len(run.pre_baseline)} finding(s)) to {bpath}"
+        )
+        return 0
+
+    if args.fix:
+        touched = _apply_fixes(run, args.quiet)
+        if touched:
+            # Re-lint from scratch: fixes may have resolved findings.
+            run = _run()
+            if not args.quiet:
+                print(f"repro.lint: {touched} file(s) fixed, re-linted")
+
+    for finding in run.findings:
         print(finding.format())
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps([f.to_dict() for f in run.findings], indent=2) + "\n",
+            encoding="utf-8",
+        )
+    if args.sarif:
+        write_sarif(Path(args.sarif), run.findings, list(REGISTRY))
+
+    if run.stale_baseline and not args.quiet:
+        print(
+            f"repro.lint: note: {len(run.stale_baseline)} stale baseline "
+            f"entr{'y' if len(run.stale_baseline) == 1 else 'ies'} "
+            "(violation fixed; run --write-baseline to prune)",
+            file=sys.stderr,
+        )
+
     if not args.quiet:
-        checked = sum(1 for _ in iter_python_files(paths))
-        status = "ok" if not findings else f"{len(findings)} finding(s)"
-        print(f"repro.lint: {checked} file(s) checked, {status}")
-    return 1 if findings else 0
+        status = "ok" if not run.findings else f"{len(run.findings)} finding(s)"
+        cache_note = ""
+        if run.cache_hits or run.cache_misses:
+            cache_note = f", cache {run.cache_hits}/{run.cache_hits + run.cache_misses} hits"
+        baseline_note = (
+            f", {run.baseline_suppressed} baselined" if run.baseline_suppressed else ""
+        )
+        scope_note = (
+            f", {run.files_checked} of {len(run.paths)} selected (--changed)"
+            if run.changed_selected is not None
+            else ""
+        )
+        print(
+            f"repro.lint: {run.files_checked} file(s) checked, {status} "
+            f"({run.elapsed:.2f}s{cache_note}{baseline_note}{scope_note})"
+        )
+    return 1 if run.findings else 0

@@ -12,9 +12,30 @@ cannot be quietly eroded.
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, Iterable, List, Tuple
+
+
+def _comment_lines(source: str) -> Iterable[Tuple[int, str]]:
+    """(lineno, comment text) for every *actual* comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    syntax quoted inside string literals or docstrings — e.g. the lint
+    package documenting itself — from being parsed as live suppressions.
+    Falls back to a whole-line scan if the source does not tokenize.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(source.splitlines(), start=1))
 
 SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
@@ -30,9 +51,32 @@ class Finding:
     line: int
     rule_id: str
     message: str
+    #: "error" gates CI; "warning" is reported (and still gates) but maps
+    #: to SARIF level "warning"; "info" maps to "note".
+    severity: str = "error"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}: {self.rule_id}{tag} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            rule_id=data["rule_id"],
+            message=data["message"],
+            severity=data.get("severity", "error"),
+        )
 
 
 @dataclass(frozen=True)
@@ -58,7 +102,7 @@ class SuppressionIndex:
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
         index = cls()
-        for lineno, text in enumerate(source.splitlines(), start=1):
+        for lineno, text in _comment_lines(source):
             match = SUPPRESS_RE.search(text)
             if match is None:
                 continue

@@ -93,6 +93,10 @@ class OpAttachesBackwardRule:
         "named 'backward'; a differentiable op without one silently "
         "produces zero gradients."
     )
+    severity = "error"
+    family = "autograd"
+    semantic = False
+    example = "return Tensor._make(out, parents)   # flagged: no backward attached"
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return module.in_nn
@@ -131,6 +135,10 @@ class GradcheckCoverageRule:
         "Every public primitive op must be exercised by "
         "tests/test_nn_gradcheck.py (finite-difference coverage)."
     )
+    severity = "error"
+    family = "autograd"
+    semantic = False
+    example = "def softplus(x): ...   # flagged: op not exercised by gradcheck suite"
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return module.in_nn

@@ -7,12 +7,12 @@ themselves in :data:`REGISTRY` via the :func:`register` decorator, so a
 project-local rule can be added by importing a module that defines one.
 
 Rules shipped here (the op-inventory rules live in
-:mod:`repro.lint.opcheck`):
+:mod:`repro.lint.opcheck`, the dataflow-backed families in
+:mod:`repro.lint.rules_semantic`):
 
 ==============   ======================================================
 REPRO-IMPORT     no deep-learning framework imports (torch, jax, ...)
 REPRO-RNG        no global numpy RNG; inject a ``np.random.Generator``
-REPRO-F64        no float64 leaks into the differentiable substrate
 REPRO-MUT        no external mutation of ``Tensor.data`` in op code
 REPRO-HOTIMPORT  no function-body imports in hot-path modules
 REPRO-OBS        no raw time.perf_counter in core//eval/; go through
@@ -24,6 +24,17 @@ REPRO-FUSED      no hand-rolled ``q @ k.transpose()`` attention chains
                  in core/; route through repro.nn.fused
 REPRO-SUP        suppression comments must carry a justification
 ==============   ======================================================
+
+``REPRO-F64`` used to live here as a purely syntactic pass; it is now
+owned by :class:`repro.lint.rules_semantic.DtypeTaintRule`, which keeps
+the syntactic checks (via :class:`SyntacticFloat64Rule` below) and
+layers whole-function dtype-taint tracking on top.
+
+Rules may carry optional metadata attributes — ``severity`` ("error" /
+"warning"), ``family`` (a short grouping tag), ``semantic`` (True when
+the rule runs a dataflow analysis rather than a per-node pattern), and
+``example`` (a snippet shown by ``--explain``).  The engine reads them
+with safe defaults, so third-party rules without metadata keep working.
 """
 
 from __future__ import annotations
@@ -173,6 +184,10 @@ class NoFrameworkImportsRule:
         "Deep-learning framework imports are forbidden; the reproduction "
         "must run on the in-repo numpy autograd engine alone."
     )
+    severity = "error"
+    family = "environment"
+    semantic = False
+    example = "import torch   # flagged: numpy-only reproduction"
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return True
@@ -204,6 +219,10 @@ class NoGlobalRngRule:
         "Global numpy RNG state (np.random.rand, .seed, ...) is forbidden; "
         "inject a np.random.Generator so every run is reproducible."
     )
+    severity = "error"
+    family = "determinism"
+    semantic = False
+    example = "np.random.seed(0)   # flagged: global RNG state"
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return True
@@ -237,13 +256,24 @@ class NoGlobalRngRule:
         return findings
 
 
-@register
-class NoFloat64LeakRule:
+class SyntacticFloat64Rule:
+    """The original per-node REPRO-F64 pass.
+
+    Deliberately **not** registered: :class:`~repro.lint.rules_semantic.
+    DtypeTaintRule` embeds it and extends it with dataflow tracking.
+    The class stays importable so tests can run old-vs-new comparisons
+    on the same corpus.
+    """
+
     rule_id = "REPRO-F64"
     description = (
         "The differentiable substrate is float32-only: no np.float64 / "
         "dtype=float, and numpy conversions must pin an explicit dtype."
     )
+    severity = "error"
+    family = "dtype"
+    semantic = False
+    example = "buf = np.zeros(n)   # flagged: dtype-less allocator defaults to float64"
 
     #: calls that convert inputs and silently default to float64.
     _CONVERTERS = {"numpy.asarray", "numpy.array", "numpy.asfarray"}
@@ -354,6 +384,10 @@ class NoFloat64LeakRule:
         return findings
 
 
+#: Backwards-compatible alias for external importers of the old name.
+NoFloat64LeakRule = SyntacticFloat64Rule
+
+
 @register
 class NoTensorDataMutationRule:
     rule_id = "REPRO-MUT"
@@ -362,6 +396,10 @@ class NoTensorDataMutationRule:
         "autograd assumes forward values survive until backward "
         "(use Tensor.assign_/bump_version for sanctioned updates)."
     )
+    severity = "error"
+    family = "autograd"
+    semantic = False
+    example = "out.data[idx] = v   # flagged: mutates forward value"
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return module.in_nn
@@ -426,6 +464,10 @@ class NoHotPathFunctionImportRule:
         "data/baselines/eval) pay the import-lock lookup on every call; "
         "hoist them to module scope."
     )
+    severity = "error"
+    family = "performance"
+    semantic = False
+    example = "def forward(x):\n    import numpy as np   # flagged: hot-path import"
 
     #: Path components marking request/training hot paths.  Tooling
     #: (lint), offline analysis and the CLI may lazy-import freely.
@@ -464,6 +506,10 @@ class NoRawPerfCounterRule:
         "metrics/trace exports (repro.obs itself is the one home for "
         "the primitive)."
     )
+    severity = "error"
+    family = "observability"
+    semantic = False
+    example = "t0 = time.perf_counter()   # flagged: bypasses repro.obs"
 
     #: Directories whose timing must flow through repro.obs.
     TIMED_DIRS = frozenset({"core", "eval"})
@@ -526,6 +572,10 @@ class AtomicCheckpointIoRule:
         "save_arrays / atomic_write_bytes); a bare open(..., 'w') or "
         "np.savez can tear on a crash and carries no integrity record."
     )
+    severity = "error"
+    family = "io"
+    semantic = False
+    example = "open(path, 'w')   # flagged: torn-write hazard"
 
     #: Layers that own checkpoint bytes; everything they persist must
     #: survive a mid-write crash.
@@ -614,6 +664,10 @@ class FusedAttentionRoutingRule:
         "the execution path (reference legs of the equivalence contract "
         "suppress with a justification)."
     )
+    severity = "error"
+    family = "performance"
+    semantic = False
+    example = "scores = q @ k.transpose(0, 2, 1)   # flagged: bypasses fused toggle"
 
     #: methods/functions that transpose an operand for a score matmul.
     _TRANSPOSERS = frozenset({"transpose", "swapaxes"})
@@ -656,6 +710,10 @@ class SuppressionNeedsReasonRule:
         "Every '# repro-lint: disable=...' comment must justify itself "
         "with a trailing '-- reason'."
     )
+    severity = "error"
+    family = "meta"
+    semantic = False
+    example = "x()  # repro-lint: disable=<RULE-ID>   <- flagged: missing '-- reason'"
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return True

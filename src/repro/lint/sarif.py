@@ -1,0 +1,134 @@
+"""SARIF 2.1.0 export for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema code
+hosts ingest for inline PR annotations.  The export here is the minimal
+valid subset: one run, the rule registry as
+``tool.driver.rules`` (so viewers can show descriptions), one result
+per finding with a physical location.  ``findings_from_sarif`` inverts
+the mapping, which the tests use to prove the SARIF document carries
+exactly the same findings as the plain JSON export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .findings import Finding
+
+__all__ = ["to_sarif", "findings_from_sarif", "write_sarif", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+_LEVELS_BACK = {"error": "error", "warning": "warning", "note": "info"}
+
+
+def _rule_descriptor(rule) -> dict:
+    descriptor = {
+        "id": rule.rule_id,
+        "shortDescription": {"text": getattr(rule, "description", rule.rule_id)},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(getattr(rule, "severity", "error"), "error")
+        },
+    }
+    family = getattr(rule, "family", None)
+    if family:
+        descriptor["properties"] = {
+            "family": family,
+            "semantic": bool(getattr(rule, "semantic", False)),
+        }
+    return descriptor
+
+
+def to_sarif(findings: List[Finding], rules: Optional[List] = None) -> dict:
+    """A SARIF 2.1.0 document for ``findings``.
+
+    ``rules`` is the registry (objects with ``rule_id``/``description``);
+    rules that produced no finding are still listed so viewers can
+    render the full gate.
+    """
+    descriptors = [_rule_descriptor(rule) for rule in (rules or [])]
+    known = {d["id"] for d in descriptors}
+    # Findings from unregistered rules (REPRO-SYNTAX) still need a stub.
+    for finding in findings:
+        if finding.rule_id not in known:
+            known.add(finding.rule_id)
+            descriptors.append(
+                {
+                    "id": finding.rule_id,
+                    "shortDescription": {"text": finding.rule_id},
+                    "defaultConfiguration": {"level": "error"},
+                }
+            )
+    index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": index[finding.rule_id],
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(finding.path).as_posix(),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "version": "2.0.0",
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def findings_from_sarif(doc: dict) -> List[Finding]:
+    """Invert :func:`to_sarif` (used to verify round-trip fidelity)."""
+    findings: List[Finding] = []
+    for run in doc.get("runs", []):
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            findings.append(
+                Finding(
+                    path=location["artifactLocation"]["uri"],
+                    line=int(location["region"]["startLine"]),
+                    rule_id=result["ruleId"],
+                    message=result["message"]["text"],
+                    severity=_LEVELS_BACK.get(result.get("level", "error"), "error"),
+                )
+            )
+    return sorted(findings)
+
+
+def write_sarif(
+    path: Path, findings: List[Finding], rules: Optional[List] = None
+) -> None:
+    path.write_text(
+        json.dumps(to_sarif(findings, rules), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def findings_to_json(findings: List[Finding]) -> List[Dict]:
+    return [finding.to_dict() for finding in findings]

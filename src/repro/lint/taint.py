@@ -1,0 +1,452 @@
+"""The dtype-taint lattice: tracking float64 through real dataflow.
+
+The float32-only contract of the differentiable substrate used to be
+defended by a purely syntactic rule that inspected one call at a time.
+This module gives the new ``REPRO-F64`` its semantics: a three-level
+join-semilattice
+
+    CLEAN  <  WEAK  <  F64
+
+where ``F64`` marks values that *are* (or force promotion to) float64 —
+``np.float64`` scalars, dtype-less float allocators, ``rng.<dist>()``
+draws, the ``float``/``np.float64`` type objects themselves — and
+``WEAK`` marks Python-float scalars, which under NEP 50 do **not**
+promote a float32 array (so ``x * 0.5`` stays clean) but do matter when
+they reach a dtype position.  Binary operations join their operands
+(float64 is "strong": one tainted side taints the result, exactly
+numpy's promotion rule), ``astype``/explicit ``dtype=`` to a non-f64
+type *sanitises*, and assignments propagate through the CFG via
+:class:`TaintAnalysis` so a taint survives any number of rebindings,
+branches and loop-carried joins before it reaches a sink.
+
+Each function's return taint is summarised and published to its
+callers (iterated to a fixpoint module-wide), which is what lets the
+rule see a leak cross an intra-module call boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .cfg import CFG, CFGNode, Binding, binding_occurrences, build_cfg
+from .dataflow import FixpointResult, ForwardAnalysis
+
+__all__ = [
+    "Taint",
+    "CLEAN",
+    "WEAK",
+    "F64",
+    "TaintContext",
+    "TaintAnalysis",
+    "ModuleTaint",
+    "classify",
+]
+
+#: Lattice levels.
+_CLEAN, _WEAK, _F64 = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class Taint:
+    """An abstract value: lattice level plus provenance for messages."""
+
+    level: int = _CLEAN
+    reason: str = ""
+    lineno: int = 0
+    #: the taint source is already reported by the syntactic checks
+    #: (dtype-less allocator / bare converter), so the flow rule should
+    #: not double-report it inside nn/.
+    syntactic: bool = False
+    #: the value is a np.random.Generator (drives the f64-default
+    #: distribution-method source below).
+    is_rng: bool = False
+
+    @property
+    def is_f64(self) -> bool:
+        return self.level >= _F64
+
+    def join(self, other: "Taint") -> "Taint":
+        if other.level > self.level:
+            winner = other
+        elif self.level > other.level:
+            winner = self
+        else:
+            winner = self if (self.reason or not other.reason) else other
+        return replace(winner, is_rng=self.is_rng and other.is_rng)
+
+
+CLEAN = Taint()
+WEAK = Taint(_WEAK, "python float scalar")
+F64 = Taint(_F64, "float64")
+_RNG = Taint(_CLEAN, is_rng=True)
+
+#: Allocators whose *default* dtype is float64 and that the old
+#: syntactic rule already flags when dtype-less (inside nn/).
+_SYNTACTIC_ALLOCATORS = {
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full", "numpy.arange",
+}
+#: Additional float64-by-default builders the syntactic rule misses.
+_FLOW_ALLOCATORS = {
+    "numpy.linspace", "numpy.logspace", "numpy.geomspace", "numpy.eye",
+    "numpy.identity", "numpy.tri", "numpy.vander", "numpy.indices",
+    "numpy.fromfunction", "numpy.hamming", "numpy.hanning", "numpy.kaiser",
+    "numpy.blackman", "numpy.bartlett",
+}
+#: Converters that propagate their input dtype (and promote python
+#: floats to float64); the syntactic rule flags the dtype-less form.
+_CONVERTERS = {"numpy.asarray", "numpy.array", "numpy.asfarray", "numpy.ascontiguousarray"}
+#: Generator methods that draw float64 unless dtype= says otherwise.
+_RNG_F64_METHODS = {
+    "random", "standard_normal", "normal", "uniform", "exponential",
+    "standard_exponential", "standard_gamma", "gamma", "beta", "chisquare",
+    "standard_cauchy", "standard_t", "lognormal", "laplace", "logistic",
+    "gumbel", "pareto", "power", "rayleigh", "triangular", "vonmises",
+    "wald", "weibull", "dirichlet", "multivariate_normal", "f",
+    "noncentral_chisquare", "noncentral_f",
+}
+#: Generator methods that yield integers / permutations (stay clean).
+_RNG_CLEAN_METHODS = {"integers", "choice", "permutation", "permuted", "shuffle", "bytes"}
+#: numpy dtypes that sanitise (an explicit non-f64 pin).
+_SAFE_DTYPES = {
+    "numpy.float32", "numpy.float16", "numpy.int8", "numpy.int16",
+    "numpy.int32", "numpy.int64", "numpy.uint8", "numpy.uint16",
+    "numpy.uint32", "numpy.uint64", "numpy.bool_", "numpy.intp",
+    "numpy.complex64",
+}
+#: Parameter names treated as np.random.Generator injections.
+_RNG_PARAM_NAMES = {"rng", "generator", "random_state", "bit_generator"}
+
+
+@dataclass
+class TaintContext:
+    """Resolution services :func:`classify` needs."""
+
+    #: dotted local name -> canonical dotted path (None when unknown).
+    resolve: Callable[[Optional[str]], Optional[str]]
+    #: intra-module function return summaries (name -> Taint).
+    summaries: Dict[str, Taint]
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def classify_dtype(expr: ast.expr, env: Dict[str, Taint], ctx: TaintContext) -> Taint:
+    """Classify an expression *in dtype position* (``dtype=...`` or the
+    ``astype`` argument): F64 when it denotes float64, CLEAN when it
+    denotes a recognised non-f64 dtype or is unknown."""
+    canonical = ctx.resolve(_dotted(expr))
+    if canonical in ("numpy.float64", "numpy.double", "numpy.longdouble"):
+        return Taint(_F64, "dtype is np.float64", expr.lineno)
+    if canonical in _SAFE_DTYPES:
+        return CLEAN
+    if isinstance(expr, ast.Name):
+        if expr.id == "float":
+            return Taint(_F64, "dtype is builtin float (= float64)", expr.lineno)
+        bound = env.get(expr.id)
+        if bound is not None and bound.is_f64:
+            return Taint(
+                _F64,
+                f"dtype variable '{expr.id}' is bound to float64 "
+                f"({bound.reason or 'tainted'} at line {bound.lineno})",
+                expr.lineno,
+            )
+        return CLEAN
+    if isinstance(expr, ast.Constant) and expr.value in ("float64", "double", "f8"):
+        return Taint(_F64, f"dtype string {expr.value!r}", expr.lineno)
+    return CLEAN
+
+
+def classify(expr: Optional[ast.expr], env: Dict[str, Taint], ctx: TaintContext) -> Taint:
+    """Abstract evaluation of one expression under environment ``env``."""
+    if expr is None:
+        return CLEAN
+    if isinstance(expr, ast.Constant):
+        return WEAK if isinstance(expr.value, float) else CLEAN
+    if isinstance(expr, ast.Name):
+        if expr.id == "float":
+            return Taint(_F64, "builtin float type object", expr.lineno)
+        return env.get(expr.id, CLEAN)
+    if isinstance(expr, ast.Attribute):
+        canonical = ctx.resolve(_dotted(expr))
+        if canonical in ("numpy.float64", "numpy.double", "numpy.longdouble"):
+            return Taint(_F64, "np.float64 type object", expr.lineno)
+        if canonical in ("numpy.pi", "numpy.e", "numpy.euler_gamma", "math.pi",
+                         "math.e", "math.tau", "math.inf", "math.nan"):
+            return WEAK
+        base = classify(expr.value, env, ctx)
+        if base.is_rng or expr.attr in _RNG_PARAM_NAMES:
+            # self.rng / obj.rng: keep the generator mark alive.
+            return _RNG
+        # Attribute access on a tainted value (x.T, x.real, ...) keeps
+        # the dtype; anything else is unknown.
+        if base.is_f64 and expr.attr in ("T", "real", "imag", "flat", "data"):
+            return base
+        return CLEAN
+    if isinstance(expr, ast.BinOp):
+        return classify(expr.left, env, ctx).join(classify(expr.right, env, ctx))
+    if isinstance(expr, ast.UnaryOp):
+        return classify(expr.operand, env, ctx)
+    if isinstance(expr, ast.BoolOp):
+        out = CLEAN
+        for value in expr.values:
+            out = out.join(classify(value, env, ctx))
+        return out
+    if isinstance(expr, ast.Compare):
+        return CLEAN
+    if isinstance(expr, ast.IfExp):
+        return classify(expr.body, env, ctx).join(classify(expr.orelse, env, ctx))
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        out = CLEAN
+        for elt in expr.elts:
+            if isinstance(elt, ast.Starred):
+                elt = elt.value
+            out = out.join(classify(elt, env, ctx))
+        return out
+    if isinstance(expr, ast.Subscript):
+        return classify(expr.value, env, ctx)
+    if isinstance(expr, ast.Starred):
+        return classify(expr.value, env, ctx)
+    if isinstance(expr, ast.NamedExpr):
+        return classify(expr.value, env, ctx)
+    if isinstance(expr, ast.Call):
+        return _classify_call(expr, env, ctx)
+    return CLEAN
+
+
+def _classify_call(call: ast.Call, env: Dict[str, Taint], ctx: TaintContext) -> Taint:
+    canonical = ctx.resolve(_dotted(call.func))
+    dtype_kw = _keyword(call, "dtype")
+
+    if canonical in ("numpy.float64", "numpy.double", "numpy.longdouble"):
+        return Taint(_F64, "np.float64(...) scalar", call.lineno)
+    if canonical in ("numpy.float32", "numpy.float16"):
+        return CLEAN
+    if canonical == "float":
+        return WEAK
+    if canonical in ("numpy.random.default_rng", "numpy.random.Generator"):
+        return _RNG
+    if canonical is not None and canonical.startswith("math."):
+        return WEAK
+
+    if canonical in _SYNTACTIC_ALLOCATORS or canonical in _FLOW_ALLOCATORS:
+        if dtype_kw is not None:
+            return classify_dtype(dtype_kw, env, ctx)
+        if canonical == "numpy.arange":
+            # int unless any argument is float-valued.
+            arg_taint = CLEAN
+            for arg in call.args:
+                arg_taint = arg_taint.join(classify(arg, env, ctx))
+            if arg_taint.level < _WEAK:
+                return CLEAN
+        short = canonical.replace("numpy.", "np.")
+        return Taint(
+            _F64,
+            f"dtype-less {short}(...) allocates float64",
+            call.lineno,
+            syntactic=canonical in _SYNTACTIC_ALLOCATORS,
+        )
+
+    if canonical in _CONVERTERS:
+        if dtype_kw is not None:
+            return classify_dtype(dtype_kw, env, ctx)
+        # Propagates its input dtype; the dtype-less form is already the
+        # syntactic rule's business inside nn/.
+        out = CLEAN
+        for arg in call.args:
+            out = out.join(classify(arg, env, ctx))
+        return replace(out, syntactic=True) if out.is_f64 else out
+
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        base = classify(call.func.value, env, ctx)
+        if attr == "astype" and call.args:
+            return classify_dtype(call.args[0], env, ctx)
+        if base.is_rng or (
+            isinstance(call.func.value, ast.Name)
+            and call.func.value.id in _RNG_PARAM_NAMES
+        ):
+            if attr in _RNG_F64_METHODS:
+                if dtype_kw is not None:
+                    return classify_dtype(dtype_kw, env, ctx)
+                return Taint(_F64, f"rng.{attr}() draws float64 by default", call.lineno)
+            if attr in _RNG_CLEAN_METHODS:
+                return CLEAN
+            return CLEAN
+        if attr in ("item", "tolist"):
+            return WEAK
+        if attr in ("mean", "sum", "std", "var", "prod", "cumsum", "dot", "copy",
+                    "reshape", "transpose", "swapaxes", "squeeze", "ravel",
+                    "flatten", "clip", "round", "max", "min", "take", "repeat"):
+            if dtype_kw is not None:
+                return classify_dtype(dtype_kw, env, ctx)
+            return base  # dtype-preserving methods
+        return CLEAN
+
+    if canonical is not None and canonical.startswith("numpy."):
+        if dtype_kw is not None:
+            return classify_dtype(dtype_kw, env, ctx)
+        # Generic numpy function: dtype-preserving over its array args.
+        out = CLEAN
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                arg = arg.value
+            out = out.join(classify(arg, env, ctx))
+        # Python-float args alone do not make a numpy result float64
+        # when arrays participate; only propagate hard taint.
+        return out if out.is_f64 else CLEAN
+
+    # Intra-module call: use the callee's return summary when known.
+    if isinstance(call.func, ast.Name) and call.func.id in ctx.summaries:
+        summary = ctx.summaries[call.func.id]
+        if summary.is_f64:
+            return Taint(
+                _F64,
+                f"call to {call.func.id}() whose return is float64 "
+                f"({summary.reason or 'tainted'})",
+                call.lineno,
+                syntactic=summary.syntactic,
+            )
+        return summary
+    return CLEAN
+
+
+class TaintAnalysis(ForwardAnalysis[Taint]):
+    """CFG fixpoint propagating :class:`Taint` through local bindings."""
+
+    def __init__(self, ctx: TaintContext, initial_env: Optional[Dict[str, Taint]] = None):
+        self.ctx = ctx
+        self._initial = dict(initial_env or {})
+
+    def initial_state(self, cfg: CFG) -> Dict[str, Taint]:
+        return dict(self._initial)
+
+    def join_values(self, a: Taint, b: Taint) -> Taint:
+        return a.join(b)
+
+    def transfer(self, node: CFGNode, state: Dict[str, Taint]) -> Dict[str, Taint]:
+        bindings = binding_occurrences(node)
+        if not bindings:
+            return state
+        out = dict(state)
+        for binding in bindings:
+            out[binding.name] = self._bind_value(binding, out)
+        return out
+
+    def _bind_value(self, binding: Binding, env: Dict[str, Taint]) -> Taint:
+        if binding.source == "arg":
+            if binding.name in _RNG_PARAM_NAMES:
+                return _RNG
+            return self._initial.get(binding.name, CLEAN)
+        if binding.source in ("def", "except", "with"):
+            return CLEAN
+        if binding.source == "for":
+            # Iterating a float64 array yields float64 (strong) scalars.
+            iter_taint = classify(binding.value, env, self.ctx)
+            return iter_taint if iter_taint.is_f64 else CLEAN
+        if binding.source == "aug":
+            old = env.get(binding.name, CLEAN)
+            return old.join(classify(binding.value, env, self.ctx))
+        if binding.source == "destructure":
+            value = classify(binding.value, env, self.ctx)
+            return value if value.is_f64 else CLEAN
+        return classify(binding.value, env, self.ctx)
+
+
+class ModuleTaint:
+    """Whole-module taint: module-level environment, per-function
+    fixpoints (closures seeded from their enclosing scope), and the
+    intra-module return-summary iteration."""
+
+    #: summary passes; 3 levels of helper-chaining is plenty for one module.
+    MAX_SUMMARY_PASSES = 3
+
+    def __init__(self, tree: ast.Module, resolve: Callable[[Optional[str]], Optional[str]]):
+        self.tree = tree
+        self.summaries: Dict[str, Taint] = {}
+        self.ctx = TaintContext(resolve=resolve, summaries=self.summaries)
+        self.module_env = self._module_level_env()
+        self._compute_summaries()
+
+    def _module_level_env(self) -> Dict[str, Taint]:
+        cfg = build_cfg(self.tree)
+        analysis = TaintAnalysis(self.ctx)
+        result = analysis.run(cfg)
+        return result.out_states[  # environment at module exit
+            cfg.exit
+        ] or {}
+
+    def _functions(self) -> List[Tuple[ast.FunctionDef, Dict[str, Taint]]]:
+        """Top-level functions and methods with their enclosing env."""
+        out: List[Tuple[ast.FunctionDef, Dict[str, Taint]]] = []
+        for node in self.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                out.append((node, self.module_env))
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, ast.FunctionDef):
+                        out.append((sub, self.module_env))
+        return out
+
+    def analyse_function(
+        self, fn: ast.FunctionDef, enclosing_env: Optional[Dict[str, Taint]] = None
+    ) -> FixpointResult:
+        """Fixpoint for one function; free names resolve through
+        ``enclosing_env`` (the closure-capture path)."""
+        env = dict(enclosing_env if enclosing_env is not None else self.module_env)
+        analysis = TaintAnalysis(self.ctx, initial_env=env)
+        return analysis.run(build_cfg(fn))
+
+    def _return_taint(self, fn: ast.FunctionDef, result: FixpointResult) -> Taint:
+        out = CLEAN
+        for node in result.cfg.nodes:
+            if isinstance(node.stmt, ast.Return) and node.stmt.value is not None:
+                env = result.in_states[node.index]
+                out = out.join(classify(node.stmt.value, env, self.ctx))
+        return out
+
+    def _compute_summaries(self) -> None:
+        for _ in range(self.MAX_SUMMARY_PASSES):
+            changed = False
+            for fn, env in self._functions():
+                result = self.analyse_function(fn, env)
+                summary = self._return_taint(fn, result)
+                if self.summaries.get(fn.name, CLEAN) != summary:
+                    self.summaries[fn.name] = summary
+                    changed = True
+            if not changed:
+                break
+
+    def iter_function_results(self):
+        """Yield ``(fn, result)`` for every function *and* nested
+        closure, nested ones seeded with the enclosing state at their
+        definition site."""
+        for fn, env in self._functions():
+            result = self.analyse_function(fn, env)
+            yield fn, result
+            yield from self._iter_nested(fn, result)
+
+    def _iter_nested(self, fn: ast.FunctionDef, result: FixpointResult):
+        for node in result.cfg.nodes:
+            stmt = node.stmt
+            if node.kind == "stmt" and isinstance(stmt, ast.FunctionDef):
+                closure_env = result.out_states[node.index]
+                nested = self.analyse_function(stmt, closure_env)
+                yield stmt, nested
+                yield from self._iter_nested(stmt, nested)

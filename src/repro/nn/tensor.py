@@ -574,7 +574,7 @@ class Tensor:
                 axes = tuple(a % len(shape) for a in axes)
                 for a in sorted(axes):
                     g = np.expand_dims(g, a)
-            self._accumulate(np.broadcast_to(g, shape).astype(np.float32))
+            self._accumulate(np.broadcast_to(g, shape).astype(np.float32, copy=False))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -606,7 +606,7 @@ class Tensor:
                 for a in sorted(axes):
                     g = np.expand_dims(g, a)
                     full_max = np.expand_dims(full_max, a)
-            mask = (self.data == full_max).astype(np.float32)
+            mask = (self.data == full_max).astype(np.float32, copy=False)
             # Split gradient evenly among ties, matching numpy-friendly
             # subgradient behaviour.
             denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
@@ -675,7 +675,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                inside = ((self.data >= low) & (self.data <= high)).astype(np.float32)
+                inside = ((self.data >= low) & (self.data <= high)).astype(np.float32, copy=False)
                 self._accumulate(grad * inside)
 
         return Tensor._make(out_data, (self,), backward)

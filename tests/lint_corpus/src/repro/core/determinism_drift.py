@@ -1,0 +1,16 @@
+"""Corpus: nondeterminism — unseeded RNG, wall clock, set iteration."""
+import time
+
+import numpy as np
+
+
+def sample_negatives(pois):
+    rng = np.random.default_rng()
+    total = 0.0
+    for poi in set(pois):
+        total += rng.random()
+    return total
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,17 @@
+"""Corpus: module-level mutable state mutated from function bodies."""
+
+_CACHE = {}
+_DEFAULT_LIMIT = 512
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def configure(limit):
+    global _DEFAULT_LIMIT
+    _DEFAULT_LIMIT = limit
+
+
+def bump(key):
+    _CACHE.setdefault(key, 0)

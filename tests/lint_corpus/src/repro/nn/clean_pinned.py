@@ -1,0 +1,13 @@
+"""Corpus: correctly pinned float32 code; must produce zero findings."""
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def init_weights(n, rng):
+    dt = np.float32
+    noise = rng.standard_normal(n, dtype=np.float32)
+    base = np.zeros(n, dtype=dt)
+    ramp = np.linspace(0.0, 1.0, n).astype(np.float32)
+    mix = (base + noise) * 0.5 + ramp
+    return Tensor(mix)

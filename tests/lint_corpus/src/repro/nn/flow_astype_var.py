@@ -1,0 +1,6 @@
+"""Corpus: the builtin float type flows through a variable into astype."""
+
+
+def widen(x):
+    target = float
+    return x.astype(target)

@@ -1,0 +1,12 @@
+"""Corpus: float64 survives a branch join on the way to the sink."""
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def select_scale(n, wide):
+    if wide:
+        scale = np.linspace(0.0, 1.0, n)
+    else:
+        scale = np.ones(n, dtype=np.float32)
+    return Tensor(scale)

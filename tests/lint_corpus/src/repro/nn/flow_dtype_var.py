@@ -1,0 +1,8 @@
+"""Corpus: float64 type object flows through a variable into dtype=."""
+import numpy as np
+
+
+def scratch_buffer(n):
+    dt = np.float64
+    buf = np.zeros(n, dtype=dt)
+    return buf

@@ -1,0 +1,9 @@
+"""Corpus: a flow-only allocator (linspace) reaches a Tensor sink."""
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def positional_ramp(n):
+    ramp = np.linspace(0.0, 1.0, n)
+    return Tensor(ramp)

@@ -1,0 +1,8 @@
+"""Corpus: a float64-default RNG draw reaches a Tensor sink."""
+from repro.nn.tensor import Tensor
+
+
+def init_weights(n, rng):
+    noise = rng.standard_normal(n)
+    scaled = noise * 0.01
+    return Tensor(scaled)

@@ -1,0 +1,14 @@
+"""Corpus: backward closure captures a variable rebound after capture."""
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def _scaled_identity(x, scale):
+    out = x.data * np.float32(scale)
+
+    def backward(grad):
+        x._accumulate(grad * scale)
+
+    scale = scale * 0.5
+    return Tensor._make(out, (x,), backward)

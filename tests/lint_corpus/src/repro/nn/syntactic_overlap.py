@@ -1,0 +1,6 @@
+"""Corpus: the classic dtype-less allocator; old and new passes agree."""
+import numpy as np
+
+
+def scratch(n):
+    return np.zeros(n)

@@ -1,0 +1,14 @@
+"""Corpus: a self.data write that skips the version-counter bump."""
+
+
+class Buffer:
+    def __init__(self, data):
+        self.data = data
+        self._version = 0
+
+    def overwrite(self, arr):
+        self.data = arr
+
+    def assign_ok(self, arr):
+        self.data = arr
+        self._version += 1

@@ -373,15 +373,18 @@ class TestRawPerfCounter:
             path = write_scratch(tmp_path, source, rel=rel)
             assert lint_paths([path]) == [], rel
 
-    def test_time_time_not_flagged(self, tmp_path):
+    def test_time_time_not_obs_flagged(self, tmp_path):
         """Only perf_counter is claimed by the obs layer; wall-clock
-        time.time() (telemetry timestamps, ETAs) stays allowed."""
+        time.time() in core now belongs to the determinism family
+        (REPRO-DET-CLOCK, warning), not REPRO-OBS."""
         path = write_scratch(
             tmp_path,
             "import time\nx = time.time()\n",
             rel="src/repro/core/scratch.py",
         )
-        assert lint_paths([path]) == []
+        findings = lint_paths([path])
+        assert {f.rule_id for f in findings} == {"REPRO-DET-CLOCK"}
+        assert all(f.severity == "warning" for f in findings)
 
     def test_justified_suppression_honored(self, tmp_path):
         path = write_scratch(

@@ -16,14 +16,25 @@ A second microbenchmark prices the ``segment_sum_rows`` scatter-add
 (embedding backward) against the ``np.add.at`` ufunc path it replaced,
 at training shape, asserting both the speedup and bitwise equality.
 
+A third benchmark sweeps ``repro.parallel`` over worker counts
+{1, 2, 4}: the epoch loss must be **bitwise identical** across the
+sweep on any hardware (that part always gates), and on machines with
+at least 4 usable cores the 4-worker leg must clear the ≥2.5×
+steps/sec scaling gate.  On smaller machines the sweep still runs and
+records its numbers, but the scaling gate is reported as not
+enforceable — forked replicas time-slicing one core cannot speed
+anything up, and pretending otherwise would just burn CI minutes.
+
 Results are persisted to ``benchmarks/results/BENCH_train.json``.
 """
 
 import contextlib
+import math
+import os
 import resource
 import time
 
-from common import QUICK, banner, dataset, persist, train_config
+from common import QUICK, banner, dataset, persist, results_store, train_config
 
 import numpy as np
 
@@ -35,6 +46,7 @@ from repro.data.negatives import NearestNegativeSampler
 from repro.nn.functional import segment_sum_rows
 from repro.nn.optim import Adam, FlatAdam
 from repro.nn.tensor import grad_arena
+from repro.parallel import train_data_parallel
 
 # Paper sequence shape (Section IV-D), at reproduction-scale width:
 # n = 100 check-ins per window, d = 64 = 32 POI (+) 32 GPS, N = 4 IAABs.
@@ -46,6 +58,12 @@ TIMED_STEPS = 3 if QUICK else 6
 
 #: The tentpole's acceptance bar for fused + FlatAdam + arena.
 MIN_SPEEDUP = 1.8
+
+#: Data-parallel scaling gate: steps/sec at 4 workers vs 1 worker,
+#: enforced when the machine actually has 4 cores to scale onto.
+WORKER_SWEEP = (1, 2, 4)
+PARALLEL_MIN_SPEEDUP = 2.5
+SWEEP_BATCHES = 4 if QUICK else 8
 
 
 def _peak_rss_mb() -> float:
@@ -202,3 +220,101 @@ def test_scatter_microbench(benchmark):
     assert report["bitwise_equal"], "segment_sum_rows diverged from np.add.at"
     # The CSR selection-matrix path must actually beat the ufunc scatter.
     assert speedup >= 1.5, f"scatter speedup {speedup:.2f}x below 1.5x"
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def run_worker_leg(workers: int) -> dict:
+    """Train one epoch over a fixed batch budget at the given worker count."""
+    ds = dataset("gowalla")
+    examples, _ = partition(ds, n=MAX_LEN)
+    tc = train_config(epochs=1)
+    subset = examples[: tc.batch_size * SWEEP_BATCHES]
+    cfg = STiSANConfig(
+        max_len=MAX_LEN,
+        poi_dim=DIM_HALF,
+        geo_dim=DIM_HALF,
+        num_blocks=NUM_BLOCKS,
+        ffn_hidden=4 * DIM_HALF,
+        dropout=0.2,
+        quadkey_level=14,
+        quadkey_ngram=4,
+        fused=True,
+    )
+    model = STiSAN(ds.num_pois, ds.poi_coords, cfg, rng=np.random.default_rng(7))
+    steps = math.ceil(len(subset) / tc.batch_size)
+    t0 = time.perf_counter()
+    result = train_data_parallel(model, ds, subset, tc, workers=workers)
+    wall = time.perf_counter() - t0
+    return {
+        "workers": workers,
+        "steps": steps,
+        "wall_s": wall,
+        "steps_per_sec": steps / wall,
+        "epoch_loss": result.epoch_losses[0],
+    }
+
+
+def run_worker_sweep():
+    return {f"workers{n}": run_worker_leg(n) for n in WORKER_SWEEP}
+
+
+def test_worker_scaling(benchmark):
+    legs = benchmark.pedantic(run_worker_sweep, rounds=1, iterations=1)
+    cores = _usable_cores()
+    gate_enforced = cores >= max(WORKER_SWEEP)
+    base = legs[f"workers{WORKER_SWEEP[0]}"]
+    banner(
+        f"Data-parallel scaling — n={MAX_LEN}, d={2 * DIM_HALF}, "
+        f"N={NUM_BLOCKS}, {cores} usable core(s)"
+    )
+    for name, leg in legs.items():
+        print(
+            f"{name:10s} {leg['steps_per_sec']:6.3f} steps/s "
+            f"({leg['wall_s']:6.2f} s wall, loss {leg['epoch_loss']!r})"
+        )
+    scaling = legs[f"workers{max(WORKER_SWEEP)}"]["steps_per_sec"] / base["steps_per_sec"]
+    print(
+        f"{'scaling':10s} {scaling:6.2f}x at {max(WORKER_SWEEP)} workers "
+        f"(gate: >= {PARALLEL_MIN_SPEEDUP}x, "
+        f"{'enforced' if gate_enforced else f'needs >= {max(WORKER_SWEEP)} cores'})"
+    )
+    # Fold the sweep into the existing BENCH_train record: ResultsStore.save
+    # rewrites the file wholesale, so re-persist the throughput rows too.
+    try:
+        prior = results_store().load("BENCH_train").rows
+    except FileNotFoundError:
+        prior = {}
+    persist(
+        "BENCH_train",
+        {
+            **prior,
+            **legs,
+            "worker_scaling": {
+                "steps_per_sec_ratio": scaling,
+                "usable_cores": cores,
+                "gate": PARALLEL_MIN_SPEEDUP,
+                "gate_enforced": gate_enforced,
+            },
+        },
+        max_len=MAX_LEN, dim=2 * DIM_HALF, num_blocks=NUM_BLOCKS,
+    )
+    # The determinism contract gates on every machine: the sharded
+    # reduction makes the loss curve independent of the worker count.
+    for name, leg in legs.items():
+        assert leg["epoch_loss"] == base["epoch_loss"], (
+            f"{name} epoch loss {leg['epoch_loss']!r} != "
+            f"workers{WORKER_SWEEP[0]} loss {base['epoch_loss']!r}"
+        )
+    # The scaling gate only means something when there are cores to
+    # scale onto; fork-based replicas on one core just time-slice.
+    if gate_enforced:
+        assert scaling >= PARALLEL_MIN_SPEEDUP, (
+            f"data-parallel scaling {scaling:.2f}x at {max(WORKER_SWEEP)} "
+            f"workers below the {PARALLEL_MIN_SPEEDUP}x gate"
+        )

@@ -13,6 +13,7 @@ from ..core.stisan import STiSAN
 from ..core.trainer import train_stisan
 from ..data.sequences import SequenceExample
 from ..data.types import CheckInDataset
+from ..parallel import DEFAULT_GRAD_SHARDS, train_data_parallel
 from .base import SequentialRecommender, register
 
 
@@ -37,7 +38,27 @@ class STiSANRecommender(SequentialRecommender):
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 0,
         resume: bool = False,
+        workers: int = 1,
+        grad_shards: Optional[int] = None,
     ) -> None:
+        if workers != 1 or grad_shards is not None:
+            # The data-parallel trainer's sharded-loss arithmetic (and
+            # its checkpoints) form their own bitwise family, so it is
+            # only selected when explicitly requested.
+            train_data_parallel(
+                self.model,
+                dataset,
+                examples,
+                config,
+                workers=workers,
+                grad_shards=(
+                    DEFAULT_GRAD_SHARDS if grad_shards is None else grad_shards
+                ),
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+            )
+            return
         train_stisan(
             self.model,
             dataset,

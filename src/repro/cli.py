@@ -109,6 +109,15 @@ def cmd_train(args) -> int:
     )
     t0 = time.time()
     fit_kwargs = {}
+    if args.workers != 1 or args.grad_shards is not None:
+        if args.model != "STiSAN":
+            raise SystemExit(
+                "--workers/--grad-shards select the data-parallel trainer, "
+                f"which only STiSAN supports; {args.model} trains single-process"
+            )
+        fit_kwargs["workers"] = args.workers
+        if args.grad_shards is not None:
+            fit_kwargs["grad_shards"] = args.grad_shards
     if args.checkpoint_dir or args.resume:
         if args.model != "STiSAN":
             raise SystemExit(
@@ -332,6 +341,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also checkpoint every N optimizer steps (0 = epoch-end only)")
     p.add_argument("--resume", action="store_true",
                    help="resume from the newest intact checkpoint in --checkpoint-dir")
+    p.add_argument("--workers", type=int, default=1,
+                   help="data-parallel worker processes (STiSAN; bitwise "
+                        "identical results for every worker count)")
+    p.add_argument("--grad-shards", type=int, default=None,
+                   help="fixed logical gradient shard count (default 4); must "
+                        "be a multiple of --workers and is part of the "
+                        "checkpoint fingerprint")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("evaluate", help="evaluate a model")

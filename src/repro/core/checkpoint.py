@@ -161,6 +161,15 @@ class TrainerCheckpoint:
     fingerprint: Dict[str, Any]
     early_stopping: Optional[Dict[str, Any]] = None
     order: Optional[np.ndarray] = None
+    #: Informational metadata that must NOT gate resume — e.g. which
+    #: trainer wrote the file.  The trainer state is worker-count
+    #: independent (single canonical RNG + shuffle order,
+    #: replica-identical parameters and moments), so a checkpoint
+    #: written at ``workers=4`` resumes at ``workers=1`` bitwise and
+    #: vice versa.  Checkpoint *bytes* are part of that contract, so
+    #: nothing worker-count-dependent (such as the world size) may be
+    #: recorded here.
+    info: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -173,6 +182,7 @@ class TrainerCheckpoint:
         fingerprint: Dict[str, Any],
         stopper: Optional[EarlyStopping] = None,
         order: Optional[np.ndarray] = None,
+        info: Optional[Dict[str, Any]] = None,
     ) -> "TrainerCheckpoint":
         return cls(
             model_state=model.state_dict(),
@@ -191,6 +201,7 @@ class TrainerCheckpoint:
             fingerprint=dict(fingerprint),
             early_stopping=None if stopper is None else stopper.state_dict(),
             order=None if order is None else np.asarray(order, dtype=np.int64).copy(),
+            info=dict(info or {}),
         )
 
     # ------------------------------------------------------------------
@@ -227,6 +238,7 @@ class TrainerCheckpoint:
             "model_keys": sorted(self.model_state),
             "num_moments": len(self.optimizer_state.get("m", [])),
             "has_order": self.order is not None,
+            "info": self.info,
         }
         path = directory / f"{_CKPT_PREFIX}{self.progress.global_step:010d}.npz"
         written = save_arrays(path, arrays, meta=meta)
@@ -282,6 +294,7 @@ class TrainerCheckpoint:
                 fingerprint=meta["fingerprint"],
                 early_stopping=early_stopping,
                 order=order,
+                info=dict(meta.get("info") or {}),
             )
         except KeyError as exc:
             raise CheckpointError(
@@ -323,11 +336,18 @@ class TrainerCheckpoint:
 
     # ------------------------------------------------------------------
     def check_fingerprint(self, fingerprint: Dict[str, Any]) -> None:
-        """Refuse to resume under a different run configuration."""
+        """Refuse to resume under a different run configuration.
+
+        Compared over the union of keys, so a checkpoint whose
+        fingerprint carries settings the resuming trainer doesn't even
+        know about (e.g. a data-parallel run's ``grad_shards``) is
+        rejected rather than silently resumed under different gradient
+        arithmetic.
+        """
         mismatched = {
-            key: (self.fingerprint.get(key), fingerprint[key])
-            for key in fingerprint
-            if self.fingerprint.get(key) != fingerprint[key]
+            key: (self.fingerprint.get(key), fingerprint.get(key))
+            for key in set(self.fingerprint) | set(fingerprint)
+            if self.fingerprint.get(key) != fingerprint.get(key)
         }
         if mismatched:
             detail = ", ".join(

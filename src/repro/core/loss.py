@@ -23,6 +23,7 @@ def weighted_bce_loss(
     neg_scores: Tensor,
     target_mask: np.ndarray,
     temperature: float = 1.0,
+    normalizer: float | None = None,
 ) -> Tensor:
     """
     Parameters
@@ -32,6 +33,11 @@ def weighted_bce_loss(
     target_mask : (b, n) bool, True where a real target exists
         (padding steps contribute nothing).
     temperature : the paper's T controlling the negative distribution.
+    normalizer : override for the averaging denominator.  Defaults to
+        this batch's real-target count; data-parallel training passes
+        the *global* batch's count so each logical shard's loss (and
+        gradient) is pre-scaled consistently and the fixed-order shard
+        sum reproduces the global average for any worker count.
 
     Returns
     -------
@@ -40,7 +46,7 @@ def weighted_bce_loss(
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
     mask = np.asarray(target_mask, dtype=np.float32)
-    count = max(float(mask.sum()), 1.0)
+    count = max(float(mask.sum()) if normalizer is None else float(normalizer), 1.0)
 
     # log σ(y⁺) — stable form.
     pos_term = F.log_sigmoid(pos_scores) * Tensor(mask)

@@ -18,7 +18,7 @@ produce identical outputs (the enabled-vs-disabled property suite in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -83,6 +83,24 @@ class FaultConfig:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+    def for_rank(self, rank: int) -> "FaultConfig":
+        """The per-worker variant of this config for data-parallel runs.
+
+        Rank 0 keeps the config untouched — a ``workers=1`` chaos run is
+        byte-for-byte the single-process chaos run.  Higher ranks derive
+        an independent seed through ``np.random.SeedSequence([seed,
+        rank])`` (so the per-site generator streams never collide across
+        replicas yet stay fully reproducible for a fixed base seed), and
+        drop ``crash_at_step``: checkpoint writes — the site that
+        trigger fires on — only happen on the root replica.
+        """
+        if rank < 0:
+            raise ValueError(f"rank must be >= 0, got {rank}")
+        if rank == 0:
+            return self
+        derived = int(np.random.SeedSequence([self.seed, rank]).generate_state(1)[0])
+        return replace(self, seed=derived, crash_at_step=None)
 
 
 @dataclass(frozen=True)

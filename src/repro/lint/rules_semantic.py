@@ -469,8 +469,8 @@ class SharedMutableStateRule:
         "Module-level state rebound (global) or mutated from function "
         "bodies will silently diverge across fork-based workers: each "
         "process edits its own copy.  Only the sanctioned state modules "
-        "(obs.state, faults.state) may own process-global toggles; "
-        "everything else passes state explicitly."
+        "(obs.state, faults.state, parallel.state) may own process-global "
+        "toggles; everything else passes state explicitly."
     )
     severity = "error"
     family = "shared-state"
@@ -481,8 +481,15 @@ class SharedMutableStateRule:
         "    _CACHE[k] = v   # flagged: module-state mutation from a function"
     )
 
-    _DIRS = frozenset({"core", "nn", "data", "eval", "geo", "baselines", "faults", "obs"})
-    _SANCTIONED = (("obs", "state.py"), ("faults", "state.py"))
+    _DIRS = frozenset({
+        "core", "nn", "data", "eval", "geo", "baselines", "faults", "obs",
+        "parallel",
+    })
+    _SANCTIONED = (
+        ("obs", "state.py"),
+        ("faults", "state.py"),
+        ("parallel", "state.py"),
+    )
     _MUTATORS = frozenset({
         "append", "extend", "insert", "add", "update", "setdefault",
         "pop", "popitem", "clear", "remove", "discard", "appendleft",
@@ -513,7 +520,8 @@ class SharedMutableStateRule:
                                 f"'{name}' via global; fork-based workers each "
                                 "mutate their own copy — move it into a "
                                 "sanctioned state module (obs.state / "
-                                "faults.state) or pass state explicitly",
+                                "faults.state / parallel.state) or pass "
+                                "state explicitly",
                             )
                         )
                 elif isinstance(node, ast.Call):

@@ -259,10 +259,71 @@ class FlatAdam(Adam):
             self._flat_m[a:b] = np.asarray(m, dtype=np.float32).ravel()
             self._flat_v[a:b] = np.asarray(v, dtype=np.float32).ravel()
 
+    # ------------------------------------------------------------------
+    # Flat-gradient surface (the data-parallel trainer's contract)
+    # ------------------------------------------------------------------
+    @property
+    def flat_size(self) -> int:
+        """Total number of float32 elements across all parameters."""
+        return int(self._offsets[-1])
+
+    @property
+    def grad_offsets(self) -> np.ndarray:
+        """Per-parameter ``[start, end)`` offsets into the flat layout
+        (length ``len(params) + 1``); read-only copy."""
+        return self._offsets.copy()
+
+    def write_flat_grads(self, out: np.ndarray, touched: Optional[np.ndarray] = None) -> None:
+        """Flatten every parameter's current gradient into ``out``.
+
+        ``out`` must be a ``(flat_size,)`` float32 array — typically one
+        logical-shard row of a shared-memory reduce buffer.  Parameters
+        with no gradient get exact-zero segments; ``touched`` (optional
+        ``(len(params),)`` uint8) records which parameters contributed,
+        so an OR-reduce across shards can replay ``Adam``'s
+        missing-gradient skip semantics after the all-reduce.
+        """
+        if out.shape != (self.flat_size,) or out.dtype != np.float32:
+            raise ValueError(
+                f"flat gradient buffer must be ({self.flat_size},) float32, "
+                f"got {out.shape} {out.dtype}"
+            )
+        offsets = self._offsets
+        for i, p in enumerate(self.params):
+            a, b = offsets[i], offsets[i + 1]
+            if p.grad is None:
+                out[a:b] = 0.0
+                if touched is not None:
+                    touched[i] = 0
+            else:
+                out[a:b] = p.grad.ravel()
+                if touched is not None:
+                    touched[i] = 1
+
+    def step_flat(self, flat_grad: np.ndarray, missing: Iterable[int] = ()) -> None:
+        """One Adam step from an externally reduced flat gradient.
+
+        Bitwise-identical arithmetic to :meth:`step` — both funnel into
+        the same vectorized update — but the gradient arrives already
+        flattened (and, in data-parallel training, already all-reduced
+        in fixed shard order).  ``missing`` lists parameter indices that
+        received no gradient on *any* shard; their values and moments
+        are preserved exactly as the per-parameter path does.
+        """
+        if flat_grad.shape != (self.flat_size,) or flat_grad.dtype != np.float32:
+            raise ValueError(
+                f"flat gradient must be ({self.flat_size},) float32, "
+                f"got {flat_grad.shape} {flat_grad.dtype}"
+            )
+        offsets = self._offsets
+        for i, p in enumerate(self.params):
+            if p.data is not self._views[i]:
+                # Parameter array replaced behind our back
+                # (load_state_dict / restore_best) — re-sync the slice.
+                self._flat_p[offsets[i]:offsets[i + 1]] = p.data.ravel()
+        self._apply_flat(flat_grad, sorted(set(int(i) for i in missing)))
+
     def step(self) -> None:
-        self.t += 1
-        bias1 = 1.0 - self.beta1 ** self.t
-        bias2 = 1.0 - self.beta2 ** self.t
         offsets = self._offsets
         flat_p, flat_g = self._flat_p, self._flat_g
         missing: List[int] = []
@@ -277,6 +338,19 @@ class FlatAdam(Adam):
                 flat_g[a:b] = 0.0
             else:
                 flat_g[a:b] = p.grad.ravel()
+        self._apply_flat(flat_g, missing)
+
+    def _apply_flat(self, flat_g: np.ndarray, missing: List[int]) -> None:
+        """The vectorized Adam update over the flat buffers (shared by
+        :meth:`step` and :meth:`step_flat`)."""
+        self.t += 1
+        bias1 = 1.0 - self.beta1 ** self.t
+        bias2 = 1.0 - self.beta2 ** self.t
+        offsets = self._offsets
+        flat_p = self._flat_p
+        for i in missing:
+            if not 0 <= i < len(self.params):
+                raise IndexError(f"missing-gradient index {i} out of range")
         saved = [
             (i, flat_p[offsets[i]:offsets[i + 1]].copy(),
              self._flat_m[offsets[i]:offsets[i + 1]].copy(),

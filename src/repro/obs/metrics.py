@@ -251,6 +251,47 @@ class MetricsRegistry:
     def to_json_text(self, indent: int = 2) -> str:
         return json.dumps(self.to_json(), indent=indent, sort_keys=True)
 
+    def merge_json(self, payload: dict) -> None:
+        """Fold one :meth:`to_json` snapshot into this registry.
+
+        The data-parallel trainer collects one snapshot per worker rank
+        and merges them **in rank order**, which together with these
+        per-kind rules makes the merged registry deterministic for a
+        fixed set of inputs:
+
+        - counters and histogram counts/sums **add** (per-rank totals
+          accumulate into fleet totals);
+        - gauges take the **incoming** value (last-writer in merge
+          order, i.e. the highest rank that set the gauge).
+        """
+        for entry in payload["metrics"]:
+            labels = entry.get("labels") or None
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], labels).inc(float(entry["value"]))
+            elif kind == "gauge":
+                self.gauge(entry["name"], labels).set(float(entry["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(entry["name"], labels, buckets=entry["buckets"])
+                if list(hist.buckets) != [float(b) for b in entry["buckets"]]:
+                    raise ValueError(
+                        f"histogram {entry['name']!r} merged with different buckets"
+                    )
+                for index, count in enumerate(entry["counts"]):
+                    hist.counts[index] += int(count)
+                hist.sum += float(entry["sum"])
+                hist.count += int(entry["count"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    @classmethod
+    def merge_payloads(cls, payloads) -> "MetricsRegistry":
+        """A fresh registry holding the fold of ``payloads`` in order."""
+        registry = cls()
+        for payload in payloads:
+            registry.merge_json(payload)
+        return registry
+
     @classmethod
     def from_json(cls, payload: dict) -> "MetricsRegistry":
         """Rebuild a registry from :meth:`to_json` output."""

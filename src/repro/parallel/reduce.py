@@ -1,0 +1,65 @@
+"""Fixed-order gradient all-reduce and flat-gradient clipping.
+
+The reduction is the crux of the bitwise contract: every rank computes
+
+    flat_grad = reduce_shard_grads(shard_grads)     # (F, P) -> (P,)
+
+over the *same* ``(F, P)`` shard-gradient matrix (rows indexed by
+logical shard, populated through shared memory), using ``np.sum`` along
+axis 0.  numpy's reduction over a fixed-shape float32 array is a
+deterministic, single-threaded function of its input — the summation
+order is fixed by the array layout, not by worker scheduling — so the
+reduced gradient is bitwise identical no matter how many processes
+filled the rows or in what order they finished.
+
+``clip_flat_grad_norm`` mirrors ``Optimizer.clip_grad_norm`` on the
+flat layout: the squared norm accumulates per parameter segment in
+parameter order (float64 Python accumulation over float32 segment
+sums, exactly like the per-parameter path), and the scale is applied
+in one elementwise multiply.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["reduce_shard_grads", "reduce_shard_losses", "clip_flat_grad_norm"]
+
+
+def reduce_shard_grads(shard_grads: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Sum per-shard flat gradients along the shard axis, fixed order.
+
+    ``shard_grads`` is the ``(F, P)`` float32 matrix of per-logical-shard
+    gradients.  Returns a fresh ``(P,)`` float32 array (or fills ``out``).
+    """
+    if shard_grads.ndim != 2:
+        raise ValueError(f"expected a (num_shards, flat_size) matrix, got {shard_grads.shape}")
+    return np.sum(shard_grads, axis=0, dtype=np.float32, out=out)
+
+
+def reduce_shard_losses(shard_losses: np.ndarray) -> float:
+    """Sum per-shard loss contributions in logical-shard order."""
+    return float(np.sum(shard_losses, dtype=np.float32))
+
+
+def clip_flat_grad_norm(
+    flat_grad: np.ndarray, offsets: Sequence[int], max_norm: float
+) -> float:
+    """Global-norm clip of a flat gradient, in place; returns the norm.
+
+    Replays the reference accumulation order: one float32 segment sum
+    per parameter, accumulated into a Python float.  Parameters whose
+    segment is all zeros (missing gradients) contribute exactly 0.0,
+    matching the per-parameter path's ``grad is None`` skip.
+    """
+    total = 0.0
+    for a, b in zip(offsets, offsets[1:]):
+        seg = flat_grad[a:b]
+        total += float((seg ** 2).sum())
+    norm = float(math.sqrt(total))
+    if norm > max_norm and norm > 0:
+        flat_grad *= max_norm / norm
+    return norm

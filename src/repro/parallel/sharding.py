@@ -1,0 +1,91 @@
+"""Deterministic batch sharding for data-parallel training.
+
+The bitwise-determinism contract (``workers=N`` identical to
+``workers=1`` for every N) forbids letting the *worker count* shape the
+arithmetic.  Floating-point addition is not associative, so summing two
+half-batch gradients does not reproduce the one-pass full-batch
+gradient, and ``(g0+g1)+(g2+g3)`` differs from ``((g0+g1)+g2)+g3`` in
+the last ulp.  The fix is a level of indirection:
+
+- every batch is decomposed into a **fixed number of logical shards**
+  (``grad_shards``, part of the checkpoint fingerprint) whose contents
+  depend only on the batch size — never on how many workers exist;
+- workers claim *contiguous runs of logical shards* (rank r computes
+  shards ``[r*F/N, (r+1)*F/N)``), so each shard gradient is computed by
+  exactly one process but its value is process-independent;
+- the all-reduce sums the per-shard gradients **indexed by logical
+  shard**, with one fixed reduction order (see
+  :mod:`repro.parallel.reduce`) — the sum is a pure function of the
+  ``(F, P)`` shard-gradient matrix, which is itself worker-count
+  independent.
+
+Ragged last batches and the degenerate ``B < F`` case fall out of the
+same rule: shard sizes are ``ceil``/``floor`` balanced from the batch
+length alone, and empty shards contribute exact-zero rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["shard_bounds", "rank_shard_range", "validate_world"]
+
+
+def shard_bounds(batch_size: int, num_shards: int) -> List[Tuple[int, int]]:
+    """``[lo, hi)`` row bounds of each logical shard of a batch.
+
+    A pure function of ``(batch_size, num_shards)``: the first
+    ``batch_size % num_shards`` shards get one extra row.  With
+    ``batch_size < num_shards`` the tail shards are empty (``lo == hi``).
+
+    >>> shard_bounds(10, 4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    >>> shard_bounds(2, 4)
+    [(0, 1), (1, 2), (2, 2), (2, 2)]
+    """
+    if batch_size < 0:
+        raise ValueError(f"batch_size must be >= 0, got {batch_size}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    base, rem = divmod(batch_size, num_shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for shard in range(num_shards):
+        hi = lo + base + (1 if shard < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def rank_shard_range(rank: int, world_size: int, num_shards: int) -> Tuple[int, int]:
+    """The contiguous run ``[lo, hi)`` of logical shards rank ``rank`` owns.
+
+    ``num_shards`` must be divisible by ``world_size`` so every rank
+    owns the same number of shards — that keeps per-step work balanced
+    and makes ownership trivially deterministic.
+    """
+    validate_world(world_size, num_shards)
+    if not 0 <= rank < world_size:
+        raise ValueError(f"rank {rank} out of range for world_size {world_size}")
+    per_rank = num_shards // world_size
+    return rank * per_rank, (rank + 1) * per_rank
+
+
+def validate_world(world_size: int, num_shards: int) -> None:
+    """Reject worker/shard combinations the determinism contract cannot
+    cover (the shard count must be fixed and rank ownership exact)."""
+    if world_size < 1:
+        raise ValueError(f"workers must be >= 1, got {world_size}")
+    if num_shards < 1:
+        raise ValueError(f"grad_shards must be >= 1, got {num_shards}")
+    if world_size > num_shards:
+        raise ValueError(
+            f"workers={world_size} exceeds grad_shards={num_shards}; the logical "
+            "shard count bounds the usable worker count (raise grad_shards — it "
+            "is part of the checkpoint fingerprint, so pick it once per run)"
+        )
+    if num_shards % world_size != 0:
+        raise ValueError(
+            f"grad_shards={num_shards} is not divisible by workers={world_size}; "
+            "shard ownership must be exact for deterministic reduction"
+        )

@@ -1,0 +1,161 @@
+"""Shared-memory reduce buffers for multi-process gradient exchange.
+
+One :class:`ReduceBuffer` per training run holds everything the ranks
+exchange each step, laid out in a single segment:
+
+- ``grads``   — ``(F, P)`` float32, one row per logical shard, written
+  by the owning rank, read by every rank for the fixed-order reduce;
+- ``losses``  — ``(F,)`` float32 per-shard loss contributions;
+- ``touched`` — ``(F, num_params)`` uint8 per-shard "this parameter
+  received a gradient" flags, OR-reduced to replay ``Adam``'s
+  missing-gradient skip semantics;
+- ``flags``   — ``(1,)`` int64 control word (abort signal).
+
+Two implementations share the interface: :class:`LocalReduceBuffer`
+(plain numpy, used at ``workers=1`` and on platforms without usable
+shared memory) and :class:`SharedReduceBuffer` backed by
+``multiprocessing.shared_memory.SharedMemory``.  Rows are disjoint per
+writer and the training loop brackets write/read phases with barriers,
+so no locks are needed.
+
+Lifecycle: the parent creates the segment and is the only process that
+unlinks it.  Forked children inherit the mapping; a child that instead
+attaches by name (spawn-capable path, exercised in tests) must call
+``close()`` but never ``unlink()``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LocalReduceBuffer", "SharedReduceBuffer"]
+
+_ABORT = 0  # index into the flags word
+
+
+class _BufferViews:
+    """Numpy views over one backing buffer (shared or private)."""
+
+    def __init__(self, num_shards: int, flat_size: int, num_params: int, buf) -> None:
+        self.num_shards = num_shards
+        self.flat_size = flat_size
+        self.num_params = num_params
+        grads_bytes = num_shards * flat_size * 4
+        losses_bytes = num_shards * 4
+        touched_bytes = num_shards * num_params
+        self.grads = np.ndarray(
+            (num_shards, flat_size), dtype=np.float32, buffer=buf, offset=0
+        )
+        self.losses = np.ndarray(
+            (num_shards,), dtype=np.float32, buffer=buf, offset=grads_bytes
+        )
+        self.touched = np.ndarray(
+            (num_shards, num_params), dtype=np.uint8, buffer=buf,
+            offset=grads_bytes + losses_bytes,
+        )
+        flags_offset = grads_bytes + losses_bytes + touched_bytes
+        flags_offset += (-flags_offset) % 8  # 8-byte alignment for int64
+        self.flags = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=flags_offset)
+
+    @staticmethod
+    def nbytes(num_shards: int, flat_size: int, num_params: int) -> int:
+        raw = num_shards * flat_size * 4 + num_shards * 4 + num_shards * num_params
+        return raw + ((-raw) % 8) + 8
+
+    # ------------------------------------------------------------------
+    def signal_abort(self) -> None:
+        self.flags[_ABORT] = 1
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self.flags[_ABORT])
+
+
+class LocalReduceBuffer(_BufferViews):
+    """Private in-process buffer — the ``workers=1`` fast path.
+
+    Identical layout and semantics to the shared variant so the
+    training loop is one code path regardless of worker count.
+    """
+
+    def __init__(self, num_shards: int, flat_size: int, num_params: int):
+        self._backing = bytearray(self.nbytes(num_shards, flat_size, num_params))
+        super().__init__(num_shards, flat_size, num_params, memoryview(self._backing))
+
+    def close(self) -> None:  # interface parity
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+class SharedReduceBuffer(_BufferViews):
+    """The multi-process buffer over one ``SharedMemory`` segment."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        flat_size: int,
+        num_params: int,
+        *,
+        name: Optional[str] = None,
+        create: bool = True,
+    ):
+        size = self.nbytes(num_shards, flat_size, num_params)
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+        else:
+            if name is None:
+                raise ValueError("attaching requires the segment name")
+            self._shm = shared_memory.SharedMemory(name=name)
+            if self._shm.size < size:
+                self._shm.close()
+                raise ValueError(
+                    f"segment {name} holds {self._shm.size} bytes but the layout "
+                    f"needs {size}; shard/parameter geometry mismatch"
+                )
+        self._owner = create
+        super().__init__(num_shards, flat_size, num_params, self._shm.buf)
+        if create:
+            self.grads.fill(0.0)
+            self.losses.fill(0.0)
+            self.touched.fill(0)
+            self.flags.fill(0)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def attach(
+        cls, name: str, num_shards: int, flat_size: int, num_params: int
+    ) -> "SharedReduceBuffer":
+        """Map an existing segment (spawn-capable worker entry)."""
+        buf = cls(num_shards, flat_size, num_params, name=name, create=False)
+        # A non-owning attach must not let the resource tracker unlink
+        # the segment when this process exits; the creator owns cleanup.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(buf._shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API is CPython-internal
+            pass
+        return buf
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        # Release the numpy views before closing the mmap, otherwise
+        # CPython refuses to close an exported buffer.
+        self.grads = self.losses = self.touched = self.flags = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass

@@ -186,12 +186,17 @@ def cmd_compare(args) -> int:
 
 
 def cmd_serve_bench(args) -> int:
+    from .nn.backend import set_backend_default
+
     ds = _load_any(args.data)
+    if args.backend:
+        set_backend_default(args.backend)
     train_examples, _ = partition(ds, n=args.max_len)
     model = make_recommender(
         args.model, ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
         stisan_config=STiSANConfig.small(
-            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6,
+            backend=args.backend or None,
         ),
     )
     if args.epochs > 0:
@@ -200,6 +205,7 @@ def cmd_serve_bench(args) -> int:
         model, ds, max_len=args.max_len,
         num_candidates=min(args.candidates, ds.num_pois - 1),
         enable_caches=not args.no_cache,
+        quantized=args.quantized,
     )
     users = ds.users()[: args.num_users]
     points = sweep_service_batches(
@@ -208,7 +214,18 @@ def cmd_serve_bench(args) -> int:
     )
     print(f"serving benchmark: {args.model} on {ds.name} "
           f"({len(users)} users, k={args.k}, "
-          f"caches {'off' if args.no_cache else 'on'})")
+          f"caches {'off' if args.no_cache else 'on'}, "
+          f"backend {args.backend or 'default'}, "
+          f"weights {'int8/fp16' if args.quantized else 'fp32'})")
+    if args.quantized:
+        from .nn.quantize import quantization_report
+
+        report = quantization_report(service.model)
+        print(
+            f"quantized {report['modules']} modules: "
+            f"{report['original_bytes'] / 1024:.1f} KiB -> "
+            f"{report['quantized_bytes'] / 1024:.1f} KiB weight bytes"
+        )
     print(format_batch_sweep(points))
     if service.caches is not None:
         print(f"cache stats (last point): {service.caches}")
@@ -372,6 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=int, default=1)
     p.add_argument("--no-cache", action="store_true",
                    help="disable the slate/geo/relation serving caches")
+    p.add_argument("--backend", default=None,
+                   help="execution backend for the fused kernels "
+                        "(numpy, blocked, numexpr when installed); "
+                        "default: env REPRO_BACKEND or numpy")
+    p.add_argument("--quantized", action="store_true",
+                   help="serve from an int8/float16 quantized copy of "
+                        "the model (inference-only)")
     p.set_defaults(func=cmd_serve_bench, epochs=1)
 
     p = sub.add_parser(

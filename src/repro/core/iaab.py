@@ -24,7 +24,8 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.attention import NEG_INF
-from ..nn.fused import fused_causal_attention, fused_default, layer_norm_residual
+from ..nn.backend import get_backend
+from ..nn.fused import fused_default
 from ..nn.layers import Dropout, LayerNorm, Linear, PositionwiseFeedForward
 from ..nn.module import Module
 from ..nn.tensor import Tensor
@@ -47,6 +48,7 @@ class IntervalAwareAttentionLayer(Module):
         num_heads: int = 1,
         rng: Optional[np.random.Generator] = None,
         fused: Optional[bool] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__()
         if not use_relation and not use_attention:
@@ -60,6 +62,7 @@ class IntervalAwareAttentionLayer(Module):
         self.use_relation = use_relation
         self.use_attention = use_attention
         self.fused = fused_default() if fused is None else fused
+        self.backend = backend
         self.w_q = Linear(dim, dim, bias=False, rng=rng)
         self.w_k = Linear(dim, dim, bias=False, rng=rng)
         self.w_v = Linear(dim, dim, bias=False, rng=rng)
@@ -89,7 +92,7 @@ class IntervalAwareAttentionLayer(Module):
             q, k = self.w_q(x), self.w_k(x)
             bias = relation_bias if self.use_relation else None
             if self.fused:
-                result = fused_causal_attention(
+                result = get_backend(self.backend).causal_attention(
                     q, k, v, relation_bias=bias, mask=attend_mask,
                     return_weights=return_weights,
                 )
@@ -137,14 +140,15 @@ class IntervalAwareAttentionLayer(Module):
         if self.use_relation and relation_bias is not None:
             bias = np.broadcast_to(relation_bias[..., None, :, :], (b, h, n, n))
         if self.fused:
+            attend = get_backend(self.backend).causal_attention
             head_mean = None
             if return_weights:
-                attn, weights_arr = fused_causal_attention(
+                attn, weights_arr = attend(
                     q, k, v, relation_bias=bias, mask=mask, return_weights=True
                 )
                 head_mean = weights_arr.mean(axis=1)
             else:
-                attn = fused_causal_attention(q, k, v, relation_bias=bias, mask=mask)
+                attn = attend(q, k, v, relation_bias=bias, mask=mask)
             out = attn.transpose(0, 2, 1, 3).reshape(b, n, self.dim)
             out = self.drop(out)
         else:
@@ -178,11 +182,13 @@ class IntervalAwareAttentionBlock(Module):
         num_heads: int = 1,
         rng: Optional[np.random.Generator] = None,
         fused: Optional[bool] = None,
+        backend: Optional[str] = None,
     ):
         super().__init__()
         rng = rng or np.random.default_rng()
         self.fused = fused_default() if fused is None else fused
-        self.attn_norm = LayerNorm(dim, fused=self.fused)
+        self.backend = backend
+        self.attn_norm = LayerNorm(dim, fused=self.fused, backend=backend)
         self.attn = IntervalAwareAttentionLayer(
             dim,
             dropout=dropout,
@@ -191,8 +197,9 @@ class IntervalAwareAttentionBlock(Module):
             num_heads=num_heads,
             rng=rng,
             fused=self.fused,
+            backend=backend,
         )
-        self.ffn_norm = LayerNorm(dim, fused=self.fused)
+        self.ffn_norm = LayerNorm(dim, fused=self.fused, backend=backend)
         self.ffn = PositionwiseFeedForward(dim, hidden_dim, dropout=dropout, rng=rng)
 
     def forward(
@@ -210,7 +217,7 @@ class IntervalAwareAttentionBlock(Module):
             attn_out = self.attn(self.attn_norm(x), relation_bias, attend_mask)
         if self.fused:
             # Pre-LN residual junction as one add + one fused LayerNorm.
-            x, normed = layer_norm_residual(
+            x, normed = get_backend(self.backend).layer_norm_residual(
                 x, attn_out, self.ffn_norm.alpha, self.ffn_norm.beta,
                 eps=self.ffn_norm.eps,
             )

@@ -83,12 +83,13 @@ class STiSAN(Module):
                     num_heads=cfg.num_heads,
                     rng=rng,
                     fused=cfg.fused,
+                    backend=cfg.backend,
                 )
                 for _ in range(cfg.num_blocks)
             ]
         )
-        self.final_norm = LayerNorm(d, fused=cfg.fused)
-        self.decoder = TargetAwareAttentionDecoder(d, fused=cfg.fused)
+        self.final_norm = LayerNorm(d, fused=cfg.fused, backend=cfg.backend)
+        self.decoder = TargetAwareAttentionDecoder(d, fused=cfg.fused, backend=cfg.backend)
         self.serving_caches: Optional[ServingCaches] = None
 
     # ------------------------------------------------------------------

@@ -19,7 +19,8 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.attention import NEG_INF
-from ..nn.fused import fused_causal_attention, fused_default
+from ..nn.backend import get_backend
+from ..nn.fused import fused_default
 from ..nn.module import Module
 from ..nn.tensor import Tensor
 
@@ -27,10 +28,16 @@ from ..nn.tensor import Tensor
 class TargetAwareAttentionDecoder(Module):
     """Parameter-free cross-attention decoder over encoder outputs."""
 
-    def __init__(self, dim: int, fused: Optional[bool] = None):
+    def __init__(
+        self,
+        dim: int,
+        fused: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ):
         super().__init__()
         self.dim = dim
         self.fused = fused_default() if fused is None else fused
+        self.backend = backend
 
     def forward(
         self,
@@ -67,7 +74,7 @@ class TargetAwareAttentionDecoder(Module):
                 flat_mask = np.broadcast_to(attend_mask, (b, q, c, n)).reshape(
                     b, q * c, n
                 )
-            s = fused_causal_attention(
+            s = get_backend(self.backend).causal_attention(
                 flat, encoder_out, encoder_out, mask=flat_mask
             ).reshape(b, q, c, d)
         else:

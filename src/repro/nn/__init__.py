@@ -8,6 +8,15 @@ reproduction runs on numpy alone.
 
 from . import functional
 from .anomaly import AnomalyError, anomaly_mode, is_anomaly_enabled
+from .backend import (
+    Backend,
+    available_backends,
+    backend_default,
+    get_backend,
+    register_backend,
+    set_backend_default,
+    set_block_target,
+)
 from .attention import (
     MultiHeadAttention,
     SelfAttention,
@@ -31,6 +40,14 @@ from .layers import (
 )
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import SGD, Adam, AdamW, FlatAdam, Optimizer
+from .quantize import (
+    QuantizedEmbedding,
+    QuantizedLinear,
+    dequantize_rows,
+    quantization_report,
+    quantize_for_serving,
+    quantize_rows_int8,
+)
 from .rnn import GRU, GRUCell, LSTMCell, STGNCell
 from .schedulers import (
     CosineAnnealingLR,
@@ -77,6 +94,19 @@ __all__ = [
     "layer_norm_residual",
     "fused_default",
     "set_fused_default",
+    "Backend",
+    "available_backends",
+    "backend_default",
+    "get_backend",
+    "register_backend",
+    "set_backend_default",
+    "set_block_target",
+    "QuantizedEmbedding",
+    "QuantizedLinear",
+    "quantize_rows_int8",
+    "dequantize_rows",
+    "quantize_for_serving",
+    "quantization_report",
     "Module",
     "ModuleList",
     "Parameter",

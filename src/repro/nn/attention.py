@@ -14,7 +14,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from . import functional as F
-from .fused import fused_causal_attention, fused_default
+from .backend import get_backend
+from .fused import fused_default
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -35,6 +36,7 @@ def scaled_dot_product_attention(
     bias: Optional[Tensor] = None,
     return_weights: bool = False,
     fused: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> Tensor | Tuple[Tensor, np.ndarray]:
     """Softmax(QK^T / sqrt(d) + bias, masked) V.
 
@@ -45,14 +47,16 @@ def scaled_dot_product_attention(
     bias : additive term broadcastable to the attention map (pre-softmax).
     return_weights : also return the post-softmax attention map (detached
         numpy array) for interpretability visualizations (Figs. 5 and 7).
-    fused : route through :func:`repro.nn.fused.fused_causal_attention`
-        (one op, hand-derived backward) instead of the primitive chain;
-        None defers to the process default.  Forward is bitwise
+    fused : route through the fused kernel of the selected execution
+        backend (one op, hand-derived backward) instead of the primitive
+        chain; None defers to the process default.  Forward is bitwise
         identical either way.
+    backend : execution backend name (see :mod:`repro.nn.backend`);
+        None defers to the process default (env ``REPRO_BACKEND``).
     """
     use_fused = fused_default() if fused is None else fused
     if use_fused:
-        return fused_causal_attention(
+        return get_backend(backend).causal_attention(
             q, k, v, relation_bias=bias, mask=mask, return_weights=return_weights
         )
     d = q.shape[-1]

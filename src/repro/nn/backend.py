@@ -1,0 +1,499 @@
+"""Pluggable execution backends for the fused kernel layer.
+
+PR 5 collapsed the hot paths into three hand-differentiated kernels
+(:mod:`repro.nn.fused`): causal attention, LayerNorm and the pre-LN
+residual junction.  Those kernels hard-coded one execution strategy —
+plain float32 numpy.  This module puts a per-op dispatch registry in
+front of them so faster strategies can be added without touching model
+code:
+
+``numpy``
+    the reference backend — delegates straight to the PR 5 kernels.
+``blocked``
+    tiles the batched attention / LayerNorm work into row blocks sized
+    by :func:`set_block_target`, bounding the scratch working set per
+    GEMM call so large serving batches stay cache-resident.  Chunking
+    runs along *batch* rows only: numpy executes one identical 2-D GEMM
+    per batch slice either way, so the forward stays bitwise-identical
+    to ``numpy``.
+``numexpr``
+    registered only when the ``numexpr`` package is importable.  Uses
+    numexpr's multi-threaded VM for the exactly-rounded elementwise
+    score prep (scale multiply, bias add); ``exp`` and the reductions
+    stay in numpy so the softmax remains bit-for-bit the reference one.
+
+Equivalence contract (enforced by ``tests/test_backends.py``):
+
+- **forward is bitwise identical** to the ``numpy`` backend for every
+  registered non-quantized backend;
+- **backward matches within 1e-6** — in practice the shipped backends
+  keep even the backward bitwise (chunked GEMMs are slice-local and
+  cross-row reductions run on the full array), which the differential
+  battery exploits to assert exact loss-curve equality.
+
+Selection, most-specific wins:
+
+1. per-module ``backend=`` constructor argument (via
+   ``STiSANConfig.backend``);
+2. the process default — :func:`set_backend_default` or the
+   ``REPRO_BACKEND`` environment variable (default ``numpy``).
+
+The ``fused`` toggle is orthogonal and still decides *whether* the
+kernels run at all: ``fused=False`` keeps the primitive reference op
+chain and ignores the backend.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import fused as _fused
+from .tensor import Tensor, arena_empty, unbroadcast
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "backend_default",
+    "set_backend_default",
+    "set_block_target",
+    "block_target",
+]
+
+#: Matches repro.nn.attention.NEG_INF (not imported to avoid a cycle).
+_NEG_INF = np.float32(-1e9)
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One execution strategy: a name plus the three kernel entry points.
+
+    Every op must honour the module contract — forward bitwise-identical
+    to the ``numpy`` backend, backward within 1e-6.  The callables share
+    the signatures of their :mod:`repro.nn.fused` counterparts.
+    """
+
+    name: str
+    causal_attention: Callable[..., Union[Tensor, Tuple[Tensor, np.ndarray]]]
+    layer_norm: Callable[..., Tensor]
+    layer_norm_residual: Callable[..., Tuple[Tensor, Tensor]]
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return f"Backend({self.name})"
+
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add a backend to the registry (name collisions are an error so a
+    third-party backend cannot silently shadow the reference)."""
+    if backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend  # repro-lint: disable=REPRO-STATE -- registration happens at import time (module bottom / plugin import), before any worker forks; the registry is append-only afterwards
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, reference first, then alphabetical."""
+    names = sorted(_REGISTRY)
+    names.remove("numpy")
+    return ["numpy"] + names
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """Resolve a backend by name; None means the process default."""
+    resolved = _default if name is None else name
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {resolved!r}; available: {available_backends()}"
+        ) from None
+
+
+def backend_default() -> str:
+    """Process-wide default backend name (env ``REPRO_BACKEND``)."""
+    return _default
+
+
+def set_backend_default(name: str) -> str:
+    """Set the process-wide default backend; returns the previous name.
+
+    Validates eagerly so a typo fails at the switch, not at the first
+    forward pass deep inside a model.
+    """
+    global _default  # repro-lint: disable=REPRO-STATE -- process-wide toggle mirroring repro.nn.fused.set_fused_default; callers flip it before spawning workers and the trainer never mutates it mid-run
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    previous = _default
+    _default = name
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# blocked backend — batch-row tiling
+# ---------------------------------------------------------------------------
+
+#: Target number of score-map elements processed per chunk.  64k
+#: float32 elements keep one chunk's (scores + grad scratch) well
+#: inside L2 at serving shapes; tests shrink it to force multi-chunk
+#: execution at unit-test sizes.
+_DEFAULT_BLOCK_TARGET = 1 << 16
+
+_block_target: int = _DEFAULT_BLOCK_TARGET
+
+
+def block_target() -> int:
+    """Current per-chunk element target of the blocked backend."""
+    return _block_target
+
+
+def set_block_target(elements: Optional[int]) -> int:
+    """Set the blocked backend's per-chunk element target; returns the
+    previous value.  None restores the default."""
+    global _block_target  # repro-lint: disable=REPRO-STATE -- test/bench tuning knob mirroring set_fused_default; set before work starts, never from inside a kernel
+    previous = _block_target
+    if elements is None:
+        _block_target = _DEFAULT_BLOCK_TARGET
+    else:
+        if elements < 1:
+            raise ValueError(f"block target must be >= 1, got {elements}")
+        _block_target = int(elements)
+    return previous
+
+
+def _batched(data: np.ndarray, batch_shape: tuple, tail: tuple) -> np.ndarray:
+    """Broadcast ``data`` to ``batch_shape + tail`` and flatten the batch
+    dims to one axis.  Values are untouched, so downstream GEMMs see the
+    exact operands the unblocked kernel would."""
+    rows = int(np.prod(batch_shape)) if batch_shape else 1
+    full = np.broadcast_to(data, batch_shape + tail)
+    return np.reshape(full, (rows,) + tail)
+
+
+def _chunks(rows: int, per_tile: int):
+    step = max(1, _block_target // max(1, per_tile))
+    for start in range(0, rows, step):
+        yield start, min(start + step, rows)
+
+
+def blocked_causal_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    relation_bias: Optional[Union[Tensor, np.ndarray]] = None,
+    mask: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+    return_weights: bool = False,
+) -> Union[Tensor, Tuple[Tensor, np.ndarray]]:
+    """Batch-row-tiled causal attention.
+
+    Identical math to :func:`repro.nn.fused.fused_causal_attention`, but
+    the (B, n_q, n_k) score map is produced and consumed one block of
+    batch rows at a time.  numpy's batched matmul runs one 2-D GEMM per
+    batch slice with the same operands either way, and every other
+    forward op is row-local, so the output is bitwise-identical to the
+    unblocked kernel.  Backward GEMMs are chunked the same way; the only
+    cross-row reductions (broadcast operands, bias) run on full arrays,
+    keeping the backward bitwise too (the contract only demands 1e-6).
+    """
+    d = q.shape[-1]
+    scale32 = np.float32(1.0 / np.sqrt(d)) if scale is None else np.float32(scale)
+    bias_tensor = relation_bias if isinstance(relation_bias, Tensor) else None
+    bias_data = (
+        None
+        if relation_bias is None
+        else (bias_tensor.data if bias_tensor is not None else relation_bias)
+    )
+    mask_arr = None if mask is None else np.asarray(mask, dtype=bool)
+
+    q_data, k_data, v_data = q.data, k.data, v.data
+    kt = np.swapaxes(k_data, -1, -2)
+    score_shape = np.broadcast_shapes(
+        q_data.shape[:-1] + (kt.shape[-1],),
+        kt.shape[:-2] + q_data.shape[-2:-1] + kt.shape[-1:],
+    )
+    batch_shape = score_shape[:-2]
+    n_q, n_k = score_shape[-2], score_shape[-1]
+    rows = int(np.prod(batch_shape)) if batch_shape else 1
+    tile = n_q * n_k
+
+    qb = _batched(q_data, batch_shape, q_data.shape[-2:])
+    kbt = _batched(kt, batch_shape, kt.shape[-2:])
+    vb = _batched(v_data, batch_shape, v_data.shape[-2:])
+    bias_b = None if bias_data is None else np.broadcast_to(
+        bias_data, score_shape
+    ).reshape((rows, n_q, n_k))
+    mask_b = None if mask_arr is None else np.broadcast_to(
+        mask_arr, score_shape
+    ).reshape((rows, n_q, n_k))
+
+    scores = arena_empty((rows, n_q, n_k))
+    out_data = np.empty((rows, n_q, vb.shape[-1]), dtype=np.float32)
+    for i, j in _chunks(rows, tile):
+        blk = scores[i:j]
+        np.matmul(qb[i:j], kbt[i:j], out=blk)
+        blk *= scale32
+        if bias_b is not None:
+            blk += bias_b[i:j]
+        if mask_b is not None:
+            np.copyto(blk, _NEG_INF, where=mask_b[i:j])
+        # Numerically-stable softmax, in place (bit-identical to the
+        # unblocked kernel: every op here is row-local).
+        blk -= blk.max(axis=-1, keepdims=True)
+        np.exp(blk, out=blk)
+        blk /= blk.sum(axis=-1, keepdims=True)
+        np.matmul(blk, vb[i:j], out=out_data[i:j])
+    weights = scores  # (rows, n_q, n_k), saved for backward
+
+    def backward(grad: np.ndarray) -> None:
+        grad_b = np.reshape(grad, (rows, n_q, vb.shape[-1]))
+        if v.requires_grad:
+            gv = np.empty(vb.shape, dtype=np.float32)
+            for i, j in _chunks(rows, tile):
+                np.matmul(np.swapaxes(weights[i:j], -1, -2), grad_b[i:j], out=gv[i:j])
+            v._accumulate(unbroadcast(gv.reshape(batch_shape + vb.shape[-2:]),
+                                      v_data.shape))
+        need_scores = (
+            q.requires_grad
+            or k.requires_grad
+            or (bias_tensor is not None and bias_tensor.requires_grad)
+        )
+        if not need_scores:
+            return
+        # dW = g V^T ; dS = W * (dW - sum(dW * W)) — chunked per block.
+        ds = arena_empty(weights.shape)
+        for i, j in _chunks(rows, tile):
+            blk = ds[i:j]
+            np.matmul(grad_b[i:j], np.swapaxes(vb[i:j], -1, -2), out=blk)
+            dot = (blk * weights[i:j]).sum(axis=-1, keepdims=True)
+            blk -= dot
+            blk *= weights[i:j]
+            if mask_b is not None:
+                np.copyto(blk, np.float32(0.0), where=mask_b[i:j])
+        if bias_tensor is not None and bias_tensor.requires_grad:
+            # Full-array reduction: same summation order as the
+            # unblocked kernel, so the bias gradient stays bitwise.
+            bias_tensor._accumulate(
+                unbroadcast(ds.reshape(score_shape), bias_tensor.data.shape)
+            )
+        scaled = arena_empty(ds.shape)
+        np.multiply(ds, scale32, out=scaled)
+        kb = _batched(k_data, batch_shape, k_data.shape[-2:])
+        if q.requires_grad:
+            gq = np.empty((rows, n_q, k_data.shape[-1]), dtype=np.float32)
+            for i, j in _chunks(rows, tile):
+                np.matmul(scaled[i:j], kb[i:j], out=gq[i:j])
+            q._accumulate(
+                unbroadcast(gq.reshape(batch_shape + (n_q, k_data.shape[-1])),
+                            q_data.shape)
+            )
+        if k.requires_grad:
+            gk = np.empty(kb.shape, dtype=np.float32)
+            for i, j in _chunks(rows, tile):
+                np.matmul(np.swapaxes(scaled[i:j], -1, -2), qb[i:j], out=gk[i:j])
+            k._accumulate(
+                unbroadcast(gk.reshape(batch_shape + kb.shape[-2:]), k_data.shape)
+            )
+
+    parents = (q, k, v) if bias_tensor is None else (q, k, v, bias_tensor)
+    out = Tensor._make(out_data.reshape(score_shape[:-1] + (vb.shape[-1],)),
+                       parents, backward)
+    if return_weights:
+        return out, weights.reshape(score_shape).copy()
+    return out
+
+
+def blocked_layer_norm(x: Tensor, alpha: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Row-tiled LayerNorm: normalization is row-local, so chunking the
+    flattened (R, d) view is bitwise-free; the alpha/beta gradient
+    reductions run on full arrays to match the unblocked order."""
+    xd = x.data
+    d = xd.shape[-1]
+    flat = xd.reshape(-1, d)
+    rows = flat.shape[0]
+    inv_count = np.float32(1.0 / d)
+    normed = np.empty_like(flat)
+    inv = np.empty((rows, 1), dtype=np.float32)
+    out_flat = np.empty_like(flat)
+    for i, j in _chunks(rows, d):
+        blk = flat[i:j]
+        mu = blk.sum(axis=-1, keepdims=True) * inv_count
+        centered = blk - mu
+        var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+        inv[i:j] = (var + np.float32(eps)) ** -0.5
+        normed[i:j] = centered * inv[i:j]
+        out_flat[i:j] = normed[i:j] * alpha.data + beta.data
+    out_data = out_flat.reshape(xd.shape)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(-1, d)
+        if beta.requires_grad:
+            beta._accumulate(unbroadcast(grad, beta.data.shape))
+        if alpha.requires_grad:
+            alpha._accumulate(
+                unbroadcast((grad_flat * normed).reshape(grad.shape), alpha.data.shape)
+            )
+        if x.requires_grad:
+            gx = np.empty_like(flat)
+            for i, j in _chunks(rows, d):
+                dn = grad_flat[i:j] * alpha.data
+                dn_mean = dn.sum(axis=-1, keepdims=True) * inv_count
+                proj = (dn * normed[i:j]).sum(axis=-1, keepdims=True) * inv_count
+                gx[i:j] = inv[i:j] * (dn - dn_mean - normed[i:j] * proj)
+            x._accumulate(gx.reshape(xd.shape))
+
+    return Tensor._make(out_data, (x, alpha, beta), backward)
+
+
+def blocked_layer_norm_residual(
+    x: Tensor,
+    sublayer_out: Tensor,
+    alpha: Tensor,
+    beta: Tensor,
+    eps: float = 1e-5,
+) -> Tuple[Tensor, Tensor]:
+    """Pre-LN residual junction on the blocked LayerNorm."""
+    h = x + sublayer_out
+    return h, blocked_layer_norm(h, alpha, beta, eps=eps)
+
+
+# ---------------------------------------------------------------------------
+# numexpr backend — optional, auto-detected at import
+# ---------------------------------------------------------------------------
+
+
+def _build_numexpr_backend() -> Optional[Backend]:
+    try:
+        import numexpr as ne  # repro-lint: disable=REPRO-HOTIMPORT -- optional-dependency probe; runs exactly once at module import, never in a hot path
+    except ImportError:
+        return None
+
+    def numexpr_causal_attention(
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        relation_bias: Optional[Union[Tensor, np.ndarray]] = None,
+        mask: Optional[np.ndarray] = None,
+        scale: Optional[float] = None,
+        return_weights: bool = False,
+    ):
+        """The numpy kernel with the score prep (scale multiply, bias
+        add) evaluated by numexpr's threaded VM.  Both are single
+        exactly-rounded IEEE float32 ops, so each element comes out
+        bit-for-bit the numpy result; exp and the reductions stay in
+        numpy to keep the softmax bitwise."""
+        d = q.shape[-1]
+        scale32 = np.float32(1.0 / np.sqrt(d)) if scale is None else np.float32(scale)
+        bias_tensor = relation_bias if isinstance(relation_bias, Tensor) else None
+        bias_data = (
+            None
+            if relation_bias is None
+            else (bias_tensor.data if bias_tensor is not None else relation_bias)
+        )
+        mask_arr = None if mask is None else np.asarray(mask, dtype=bool)
+
+        q_data, k_data, v_data = q.data, k.data, v.data
+        kt = np.swapaxes(k_data, -1, -2)
+        score_shape = np.broadcast_shapes(
+            q_data.shape[:-1] + (kt.shape[-1],),
+            kt.shape[:-2] + q_data.shape[-2:-1] + kt.shape[-1:],
+        )
+        scores = arena_empty(score_shape)
+        np.matmul(q_data, kt, out=scores)
+        ne.evaluate("s * c", local_dict={"s": scores, "c": scale32}, out=scores)
+        if bias_data is not None:
+            bias_full = np.broadcast_to(
+                np.asarray(bias_data, dtype=np.float32), score_shape
+            )
+            ne.evaluate("s + b", local_dict={"s": scores, "b": bias_full}, out=scores)
+        if mask_arr is not None:
+            np.copyto(scores, _NEG_INF, where=mask_arr)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        weights = scores
+        out_data = np.matmul(weights, v_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if v.requires_grad:
+                gv = np.matmul(np.swapaxes(weights, -1, -2), grad)
+                v._accumulate(unbroadcast(gv, v_data.shape))
+            need_scores = (
+                q.requires_grad
+                or k.requires_grad
+                or (bias_tensor is not None and bias_tensor.requires_grad)
+            )
+            if not need_scores:
+                return
+            ds = arena_empty(weights.shape)
+            np.matmul(grad, np.swapaxes(v_data, -1, -2), out=ds)
+            dot = (ds * weights).sum(axis=-1, keepdims=True)
+            ds -= dot
+            ds *= weights
+            if mask_arr is not None:
+                np.copyto(ds, np.float32(0.0), where=mask_arr)
+            if bias_tensor is not None and bias_tensor.requires_grad:
+                bias_tensor._accumulate(unbroadcast(ds, bias_tensor.data.shape))
+            scaled = arena_empty(ds.shape)
+            ne.evaluate("g * c", local_dict={"g": ds, "c": scale32}, out=scaled)
+            if q.requires_grad:
+                q._accumulate(unbroadcast(np.matmul(scaled, k_data), q_data.shape))
+            if k.requires_grad:
+                gk = np.matmul(np.swapaxes(scaled, -1, -2), q_data)
+                k._accumulate(unbroadcast(gk, k_data.shape))
+
+        parents = (q, k, v) if bias_tensor is None else (q, k, v, bias_tensor)
+        out = Tensor._make(out_data, parents, backward)
+        if return_weights:
+            return out, weights.copy()
+        return out
+
+    return Backend(
+        name="numexpr",
+        causal_attention=numexpr_causal_attention,
+        # LayerNorm is reduction-dominated; numexpr buys nothing there,
+        # so the numpy kernels serve both ops.
+        layer_norm=_fused.layer_norm,
+        layer_norm_residual=_fused.layer_norm_residual,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry population + process default
+# ---------------------------------------------------------------------------
+
+register_backend(
+    Backend(
+        name="numpy",
+        causal_attention=_fused.fused_causal_attention,
+        layer_norm=_fused.layer_norm,
+        layer_norm_residual=_fused.layer_norm_residual,
+    )
+)
+register_backend(
+    Backend(
+        name="blocked",
+        causal_attention=blocked_causal_attention,
+        layer_norm=blocked_layer_norm,
+        layer_norm_residual=blocked_layer_norm_residual,
+    )
+)
+_numexpr_backend = _build_numexpr_backend()
+if _numexpr_backend is not None:  # pragma: no cover - optional dependency
+    register_backend(_numexpr_backend)
+
+_default: str = os.environ.get("REPRO_BACKEND", "").strip() or "numpy"
+if _default not in _REGISTRY:
+    raise ImportError(
+        f"REPRO_BACKEND={_default!r} is not a registered backend; "
+        f"available: {available_backends()}"
+    )

@@ -14,8 +14,8 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .backend import get_backend
 from .fused import fused_default
-from .fused import layer_norm as fused_layer_norm
 from .module import Module, Parameter
 from .tensor import Tensor
 
@@ -83,22 +83,33 @@ class Embedding(Module):
 class LayerNorm(Module):
     """Layer normalization over the last dimension — Eq. (9).
 
-    ``fused=True`` routes through the single-op kernel in
-    :mod:`repro.nn.fused` (bitwise-identical forward, closed-form
-    backward); None defers to the process-wide fused default.
+    ``fused=True`` routes through the selected execution backend's
+    single-op kernel (bitwise-identical forward, closed-form backward);
+    None defers to the process-wide fused default.  ``backend`` picks
+    the kernel implementation (see :mod:`repro.nn.backend`); None
+    resolves the process default at every call.
     """
 
-    def __init__(self, dim: int, eps: float = 1e-5, fused: Optional[bool] = None):
+    def __init__(
+        self,
+        dim: int,
+        eps: float = 1e-5,
+        fused: Optional[bool] = None,
+        backend: Optional[str] = None,
+    ):
         super().__init__()
         self.dim = dim
         self.eps = eps
         self.fused = fused_default() if fused is None else fused
+        self.backend = backend
         self.alpha = Parameter(init.ones((dim,)))
         self.beta = Parameter(init.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
         if self.fused:
-            return fused_layer_norm(x, self.alpha, self.beta, eps=self.eps)
+            return get_backend(self.backend).layer_norm(
+                x, self.alpha, self.beta, eps=self.eps
+            )
         return F.layer_norm(x, self.alpha, self.beta, eps=self.eps)
 
 

@@ -1,0 +1,239 @@
+"""Post-training quantization for the serving path.
+
+Training stays float32 end to end; serving does not need that
+precision.  This module shrinks a trained model for inference only:
+
+- **Embedding tables → int8** with per-row absmax scales: each row is
+  mapped to ``round(w / scale)`` with ``scale = absmax / 127``, a 4×
+  size cut whose worst-case per-element error is ``absmax / 254``.
+  Lookups dequantize just the gathered rows, so the float32 table is
+  never materialized.
+- **Linear weights → float16** storage, dequantized to float32 on the
+  fly per call (GEMMs still run in float32 — the autograd substrate is
+  float32-only and half-precision accumulation would cost accuracy for
+  no speed on numpy).  Biases stay float32; they are tiny.
+
+:func:`quantize_for_serving` deep-copies a trained model (or a
+recommender wrapper holding one), swaps every ``Embedding``/``Linear``
+for its quantized twin, and returns the copy in eval mode — the
+original is untouched and keeps training.  The quantized modules are
+**inference-only**: they build no autograd graph and refuse to run in
+train mode.
+
+``RecommendationService(quantized=True)`` wires this into serving; the
+golden-fixture battery in ``tests/test_quantize.py`` holds the
+quantized slates to ≥99% top-10 agreement with float32, and
+``benchmarks/bench_latency.py`` records the latency/memory deltas.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .layers import Embedding, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = [
+    "quantize_rows_int8",
+    "dequantize_rows",
+    "QuantizedEmbedding",
+    "QuantizedLinear",
+    "quantize_for_serving",
+    "quantization_report",
+]
+
+
+def quantize_rows_int8(weight: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row absmax int8 quantization.
+
+    Returns ``(q, scales)`` with ``q`` int8 of ``weight``'s shape and
+    ``scales`` float32 of shape ``(rows, 1)`` such that ``q * scales``
+    reconstructs ``weight`` to within ``scales / 2`` per element.
+    All-zero rows (e.g. the padding row) get scale 1 so they stay
+    exactly zero instead of dividing by zero.
+    """
+    weight = np.asarray(weight, dtype=np.float32)
+    if weight.ndim != 2:
+        raise ValueError(f"expected a 2-D table, got shape {weight.shape}")
+    absmax = np.abs(weight).max(axis=1, keepdims=True)
+    scales = (absmax / np.float32(127.0)).astype(np.float32)
+    scales[absmax == 0] = 1.0
+    q = np.clip(np.rint(weight / scales), -127, 127).astype(np.int8)
+    return q, scales
+
+
+def dequantize_rows(q: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_rows_int8` (float32 out)."""
+    return q.astype(np.float32) * np.asarray(scales, dtype=np.float32)
+
+
+class QuantizedEmbedding(Module):
+    """Int8 twin of :class:`~repro.nn.layers.Embedding` (inference-only).
+
+    Stores the table as int8 + per-row float32 scales and dequantizes
+    only the gathered rows at lookup time.  Padding rows are all-zero
+    in int8, so padding outputs stay exactly zero like the float32
+    layer's.
+    """
+
+    def __init__(self, q_weight: np.ndarray, scales: np.ndarray,
+                 padding_idx: Optional[int] = None):
+        super().__init__()
+        self.q_weight = np.ascontiguousarray(q_weight, dtype=np.int8)
+        self.scales = np.asarray(scales, dtype=np.float32).reshape(-1, 1)
+        if self.scales.shape[0] != self.q_weight.shape[0]:
+            raise ValueError(
+                f"scales rows {self.scales.shape[0]} != table rows "
+                f"{self.q_weight.shape[0]}"
+            )
+        self.num_embeddings, self.embedding_dim = self.q_weight.shape
+        self.padding_idx = padding_idx
+        self.eval()
+
+    @classmethod
+    def from_embedding(cls, embedding: Embedding) -> "QuantizedEmbedding":
+        q, scales = quantize_rows_int8(embedding.weight.data)
+        return cls(q, scales, padding_idx=embedding.padding_idx)
+
+    @property
+    def original_nbytes(self) -> int:
+        return self.num_embeddings * self.embedding_dim * 4
+
+    @property
+    def quantized_nbytes(self) -> int:
+        return self.q_weight.nbytes + self.scales.nbytes
+
+    def forward(self, indices) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                "QuantizedEmbedding is inference-only; quantize_for_serving "
+                "returns an eval-mode copy — train the float32 original"
+            )
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)  # repro-lint: disable=REPRO-F64 -- integer ids, cast to int64 below
+        idx = idx.astype(np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        out = self.q_weight[idx].astype(np.float32)
+        out *= self.scales[idx]          # (..., 1) broadcast over the row
+        return Tensor(out)
+
+
+class QuantizedLinear(Module):
+    """Float16-weight twin of :class:`~repro.nn.layers.Linear`
+    (inference-only).  Weights are stored half-precision and widened to
+    float32 per call; the GEMM itself runs in float32."""
+
+    def __init__(self, weight_fp16: np.ndarray, bias: Optional[np.ndarray]):
+        super().__init__()
+        self.weight_fp16 = np.ascontiguousarray(weight_fp16, dtype=np.float16)
+        self.bias_fp32 = None if bias is None else np.asarray(bias, dtype=np.float32)
+        self.in_features, self.out_features = self.weight_fp16.shape
+        self.eval()
+
+    @classmethod
+    def from_linear(cls, linear: Linear) -> "QuantizedLinear":
+        bias = None if linear.bias is None else linear.bias.data
+        return cls(linear.weight.data.astype(np.float16), bias)
+
+    @property
+    def original_nbytes(self) -> int:
+        return self.in_features * self.out_features * 4
+
+    @property
+    def quantized_nbytes(self) -> int:
+        return self.weight_fp16.nbytes
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            raise RuntimeError(
+                "QuantizedLinear is inference-only; quantize_for_serving "
+                "returns an eval-mode copy — train the float32 original"
+            )
+        xd = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float32)
+        out = xd @ self.weight_fp16.astype(np.float32)
+        if self.bias_fp32 is not None:
+            out += self.bias_fp32
+        return Tensor(out)
+
+
+def _swap_modules(module: Module) -> int:
+    """Replace every Embedding/Linear child (recursively) with its
+    quantized twin; returns the number of swaps.  Containers that keep a
+    parallel ``_items`` list (ModuleList/Sequential) are patched too."""
+    swapped = 0
+    for name, child in list(module._modules.items()):
+        replacement = None
+        if isinstance(child, Embedding):
+            replacement = QuantizedEmbedding.from_embedding(child)
+        elif isinstance(child, Linear):
+            replacement = QuantizedLinear.from_linear(child)
+        if replacement is None:
+            swapped += _swap_modules(child)
+            continue
+        module._modules[name] = replacement
+        if getattr(module, name, None) is child:
+            object.__setattr__(module, name, replacement)
+        items = getattr(module, "_items", None)
+        if items is not None:
+            for i, item in enumerate(items):
+                if item is child:
+                    items[i] = replacement
+        swapped += 1
+    return swapped
+
+
+def _find_root(model) -> Module:
+    if isinstance(model, Module):
+        return model
+    inner = getattr(model, "model", None)
+    if isinstance(inner, Module):
+        return inner
+    raise TypeError(
+        f"cannot quantize {type(model).__name__}: expected a Module or a "
+        "recommender wrapper exposing one as .model"
+    )
+
+
+def quantize_for_serving(model):
+    """An inference-only quantized deep copy of ``model``.
+
+    ``model`` may be a :class:`Module` or a recommender wrapper holding
+    one as ``.model`` (the copy preserves the wrapper).  Every embedding
+    table becomes int8 (per-row absmax) and every linear weight float16;
+    the returned tree is in eval mode and builds no autograd graph.  The
+    original model is untouched.
+    """
+    clone = copy.deepcopy(model)
+    root = _find_root(clone)
+    if _swap_modules(root) == 0:
+        raise ValueError(
+            f"{type(root).__name__} has no Embedding/Linear modules to quantize"
+        )
+    root.eval()
+    return clone
+
+
+def quantization_report(model) -> Dict[str, int]:
+    """Byte sizes of the swapped tables in a quantized model:
+    ``{"original_bytes", "quantized_bytes", "modules"}``."""
+    root = _find_root(model)
+    report = {"original_bytes": 0, "quantized_bytes": 0, "modules": 0}
+
+    def walk(module: Module) -> None:
+        for child in module._modules.values():
+            if isinstance(child, (QuantizedEmbedding, QuantizedLinear)):
+                report["original_bytes"] += child.original_nbytes
+                report["quantized_bytes"] += child.quantized_nbytes
+                report["modules"] += 1
+            else:
+                walk(child)
+
+    walk(root)
+    return report

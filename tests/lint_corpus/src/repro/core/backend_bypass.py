@@ -1,0 +1,11 @@
+"""Corpus: core/ reaching fused kernels directly (REPRO-BACKEND); the
+``fused_default`` toggle import stays legal."""
+
+import repro.nn.fused as kernels
+from repro.nn.fused import fused_causal_attention, fused_default
+
+
+def attend(q, k, v):
+    if fused_default():
+        return fused_causal_attention(q, k, v)
+    return kernels.layer_norm_residual(q, k, None, None)

@@ -1,0 +1,351 @@
+"""Quantized-serving battery for ``repro.nn.quantize``.
+
+Covers the numeric core (per-row absmax int8 scales, round-trip error
+bounds), the inference-only module twins (padding rows stay exactly
+zero, train mode refuses to run, index range checks survive), the
+module-tree swap (attribute, ``_modules`` and container ``_items``
+views all repointed; the float32 original untouched), and the serving
+gates:
+
+- the committed quantized golden fixture
+  (``tests/golden/stisan_service_top10_quantized.json``) is reproduced
+  by a fresh pipeline rebuild — ids exact, scores to 1e-6;
+- quantized top-10 slates agree with float32 slates on **≥99%** of
+  slots (the PR's serving gate; the seeded fixture pipeline actually
+  achieves 100%);
+- the PR-4 degradation semantics are unchanged: a quantized model that
+  raises or returns NaN falls back to the distance+popularity ranking
+  with every row tagged ``degraded=True``, and a model with nothing to
+  quantize is rejected up front.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import RecommendationService, STiSANConfig
+from repro.core.stisan import STiSAN
+from repro.nn import Module, ModuleList, Sequential
+from repro.nn.layers import Embedding, Linear
+from repro.nn.quantize import (
+    QuantizedEmbedding,
+    QuantizedLinear,
+    dequantize_rows,
+    quantization_report,
+    quantize_for_serving,
+    quantize_rows_int8,
+)
+from repro.nn.tensor import Tensor
+
+MAX_LEN = 10
+
+
+class TestRowQuantization:
+    def test_scales_are_per_row_absmax(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((17, 9)).astype(np.float32) * 3.0
+        q, scales = quantize_rows_int8(w)
+        assert q.dtype == np.int8
+        assert scales.shape == (17, 1)
+        expected = np.abs(w).max(axis=1, keepdims=True) / np.float32(127.0)
+        assert np.array_equal(scales, expected.astype(np.float32))
+        assert np.abs(q).max() <= 127
+
+    def test_zero_rows_get_unit_scale_and_stay_zero(self):
+        w = np.zeros((4, 6), dtype=np.float32)
+        w[1] = np.linspace(-2, 2, 6)
+        q, scales = quantize_rows_int8(w)
+        assert scales[0, 0] == 1.0 and scales[2, 0] == 1.0
+        assert np.all(q[0] == 0) and np.all(q[2] == 0)
+        assert np.array_equal(dequantize_rows(q, scales)[0], np.zeros(6))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_round_trip_error_within_half_scale(self, seed):
+        rng = np.random.default_rng(seed)
+        w = (rng.standard_normal((32, 12)) * rng.uniform(0.01, 10)).astype(np.float32)
+        q, scales = quantize_rows_int8(w)
+        err = np.abs(dequantize_rows(q, scales) - w)
+        # round-to-nearest: each element is within half a quantization
+        # step of the original (plus float32 rounding headroom).
+        assert np.all(err <= scales / 2 + 1e-6)
+
+    def test_absmax_elements_are_exact(self):
+        """The row's absmax maps to ±127 exactly, so the dynamic range
+        endpoint survives the round trip to float32 precision."""
+        w = np.array([[0.5, -1.27, 0.0]], dtype=np.float32)
+        q, scales = quantize_rows_int8(w)
+        assert q[0, 1] == -127
+        np.testing.assert_allclose(
+            dequantize_rows(q, scales)[0, 1], -1.27, rtol=1e-6
+        )
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            quantize_rows_int8(np.zeros((2, 3, 4), dtype=np.float32))
+
+
+class TestQuantizedEmbedding:
+    def _embedding(self, rows=10, dim=6, padding_idx=0, seed=0):
+        emb = Embedding(rows, dim, padding_idx=padding_idx,
+                        rng=np.random.default_rng(seed))
+        emb.eval()
+        return emb
+
+    def test_matches_dequantized_gather(self):
+        emb = self._embedding()
+        q_emb = QuantizedEmbedding.from_embedding(emb)
+        idx = np.array([[1, 3, 0], [9, 2, 5]], dtype=np.int64)
+        out = q_emb(idx)
+        assert isinstance(out, Tensor)
+        expected = dequantize_rows(q_emb.q_weight, q_emb.scales)[idx]
+        assert np.array_equal(out.data, expected)
+        assert out.data.dtype == np.float32
+
+    def test_padding_row_stays_exactly_zero(self):
+        emb = self._embedding(padding_idx=0)
+        q_emb = QuantizedEmbedding.from_embedding(emb)
+        assert q_emb.padding_idx == 0
+        out = q_emb(np.zeros((3, 4), dtype=np.int64))
+        assert np.array_equal(out.data, np.zeros((3, 4, 6), dtype=np.float32))
+
+    def test_quantization_error_bounded(self):
+        emb = self._embedding(rows=50, dim=16, seed=3)
+        q_emb = QuantizedEmbedding.from_embedding(emb)
+        idx = np.arange(50)
+        err = np.abs(q_emb(idx).data - emb(idx).data)
+        scales = q_emb.scales
+        assert np.all(err <= scales / 2 + 1e-6)
+
+    def test_out_of_range_index_rejected(self):
+        q_emb = QuantizedEmbedding.from_embedding(self._embedding(rows=10))
+        with pytest.raises(IndexError, match="out of range"):
+            q_emb(np.array([10]))
+        with pytest.raises(IndexError, match="out of range"):
+            q_emb(np.array([-1]))
+
+    def test_train_mode_refused(self):
+        q_emb = QuantizedEmbedding.from_embedding(self._embedding())
+        q_emb.train()
+        with pytest.raises(RuntimeError, match="inference-only"):
+            q_emb(np.array([1]))
+
+    def test_byte_accounting(self):
+        q_emb = QuantizedEmbedding.from_embedding(self._embedding(rows=10, dim=6))
+        assert q_emb.original_nbytes == 10 * 6 * 4
+        assert q_emb.quantized_nbytes == 10 * 6 * 1 + 10 * 4
+        assert q_emb.quantized_nbytes < q_emb.original_nbytes
+
+
+class TestQuantizedLinear:
+    def _linear(self, bias=True, seed=0):
+        lin = Linear(8, 5, bias=bias, rng=np.random.default_rng(seed))
+        lin.eval()
+        return lin
+
+    @pytest.mark.parametrize("bias", [True, False])
+    def test_matches_fp16_widened_gemm(self, bias):
+        lin = self._linear(bias=bias)
+        q_lin = QuantizedLinear.from_linear(lin)
+        assert q_lin.weight_fp16.dtype == np.float16
+        x = np.random.default_rng(1).standard_normal((4, 8)).astype(np.float32)
+        out = q_lin(Tensor(x))
+        expected = x @ lin.weight.data.astype(np.float16).astype(np.float32)
+        if bias:
+            expected = expected + lin.bias.data
+        assert np.array_equal(out.data, expected.astype(np.float32))
+        # fp16 storage error is bounded by half-precision epsilon.
+        np.testing.assert_allclose(out.data, lin(Tensor(x)).data,
+                                   rtol=1e-2, atol=1e-2)
+
+    def test_train_mode_refused(self):
+        q_lin = QuantizedLinear.from_linear(self._linear())
+        q_lin.train()
+        with pytest.raises(RuntimeError, match="inference-only"):
+            q_lin(Tensor(np.zeros((1, 8), dtype=np.float32)))
+
+    def test_byte_accounting(self):
+        q_lin = QuantizedLinear.from_linear(self._linear())
+        assert q_lin.original_nbytes == 8 * 5 * 4
+        assert q_lin.quantized_nbytes == 8 * 5 * 2
+
+
+class _Tiny(Module):
+    """Exercises every container the swap must patch: direct attribute,
+    ModuleList and Sequential (both keep parallel ``_items`` views)."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(0)
+        self.embed = Embedding(12, 8, padding_idx=0, rng=rng)
+        self.blocks = ModuleList([Linear(8, 8, rng=rng) for _ in range(2)])
+        self.head = Sequential(Linear(8, 4, rng=rng))
+
+
+class TestQuantizeForServing:
+    def test_swaps_every_container_view(self):
+        model = _Tiny()
+        clone = quantize_for_serving(model)
+        assert isinstance(clone.embed, QuantizedEmbedding)
+        for block in clone.blocks:  # iteration goes through _items
+            assert isinstance(block, QuantizedLinear)
+        assert isinstance(clone.blocks._modules["0"], QuantizedLinear)
+        assert isinstance(clone.head._items[0], QuantizedLinear)
+        assert not clone.training
+
+    def test_original_untouched_and_still_trains(self):
+        model = _Tiny()
+        model.train()
+        before = model.embed.weight.data.copy()
+        quantize_for_serving(model)
+        assert isinstance(model.embed, Embedding)
+        assert model.training
+        assert np.array_equal(model.embed.weight.data, before)
+
+    def test_nothing_to_quantize_is_an_error(self):
+        class Bare(Module):
+            pass
+
+        with pytest.raises(ValueError, match="no Embedding/Linear"):
+            quantize_for_serving(Bare())
+
+    def test_non_module_without_inner_model_is_an_error(self):
+        with pytest.raises(TypeError, match="expected a Module"):
+            quantize_for_serving(object())
+
+    def test_report_totals(self):
+        clone = quantize_for_serving(_Tiny())
+        report = quantization_report(clone)
+        # one embedding (12x8) + three linears (8x8, 8x8, 8x4)
+        assert report["modules"] == 4
+        assert report["original_bytes"] == (12 * 8 + 8 * 8 + 8 * 8 + 8 * 4) * 4
+        expected_q = (12 * 8 + 12 * 4) + (8 * 8 + 8 * 8 + 8 * 4) * 2
+        assert report["quantized_bytes"] == expected_q
+        assert report["quantized_bytes"] < report["original_bytes"]
+
+
+def _stisan_service(dataset, **kwargs):
+    cfg = STiSANConfig.small(
+        max_len=MAX_LEN, poi_dim=8, geo_dim=8, num_blocks=1, dropout=0.0
+    )
+    model = STiSAN(dataset.num_pois, dataset.poi_coords, cfg,
+                   rng=np.random.default_rng(0))
+    model.eval()
+    kwargs.setdefault("num_candidates", 20)
+    return RecommendationService(model, dataset, max_len=MAX_LEN, **kwargs)
+
+
+class _ExplodingModel:
+    """Delegating stand-in that fails on demand (mirrors the PR-4
+    degradation suite's ScriptedModel)."""
+
+    def __init__(self, inner, mode="raise"):
+        self.inner = inner
+        self.mode = mode
+
+    def score_candidates(self, src, times, candidates, users=None):
+        if self.mode == "raise":
+            raise RuntimeError("quantized model exploded")
+        scores = self.inner.score_candidates(src, times, candidates)
+        return np.full_like(np.asarray(scores, dtype=np.float32), np.nan)
+
+
+class TestQuantizedServing:
+    def test_service_swaps_a_copy(self, micro_dataset):
+        float_service = _stisan_service(micro_dataset)
+        quant_service = _stisan_service(micro_dataset, quantized=True)
+        assert quant_service.quantized is True
+        report = quantization_report(quant_service.model)
+        assert report["modules"] > 0
+        assert report["quantized_bytes"] < report["original_bytes"]
+        # the float32 service's model must still be unquantized
+        assert quantization_report(float_service.model)["modules"] == 0
+
+    def test_slate_agreement_gate(self, micro_dataset):
+        """Quantized top-10s agree with float32 on ≥99% of slots."""
+        float_service = _stisan_service(micro_dataset)
+        quant_service = _stisan_service(micro_dataset, quantized=True)
+        users = micro_dataset.users()
+        k = 10
+        float_recs = float_service.recommend_batch(users, k=k)
+        quant_recs = quant_service.recommend_batch(users, k=k)
+        assert all(not r.degraded for row in quant_recs for r in row)
+        agree = sum(
+            len({r.poi for r in f} & {r.poi for r in q})
+            for f, q in zip(float_recs, quant_recs)
+        )
+        total = sum(min(len(f), k) for f in float_recs)
+        assert agree / total >= 0.99, f"slate agreement {agree}/{total}"
+
+    def test_nothing_to_quantize_fails_at_construction(self, micro_dataset):
+        class NoWeights:
+            def score_candidates(self, src, times, candidates):
+                return np.zeros(candidates.shape, dtype=np.float32)
+
+        with pytest.raises(TypeError, match="expected a Module"):
+            RecommendationService(
+                NoWeights(), micro_dataset, max_len=MAX_LEN,
+                num_candidates=20, quantized=True,
+            )
+
+    @pytest.mark.parametrize("mode", ["raise", "nan"])
+    def test_degradation_semantics_unchanged(self, micro_dataset, mode):
+        """PR-4 fallback survives quantization: a failing quantized
+        model degrades to distance+popularity, never raises."""
+        service = _stisan_service(micro_dataset, quantized=True)
+        service.model = _ExplodingModel(service.model, mode=mode)
+        user = micro_dataset.users()[0]
+        recs = service.recommend(user, k=5)
+        assert len(recs) > 0
+        assert all(r.degraded for r in recs)
+        assert service.health.degraded_rows == 1
+        assert service.health.model_failures == 1
+        batch = service.recommend_batch(micro_dataset.users()[:3], k=5)
+        assert all(r.degraded for row in batch for r in row)
+
+    def test_healthy_quantized_rows_not_degraded(self, micro_dataset):
+        service = _stisan_service(micro_dataset, quantized=True)
+        recs = service.recommend(micro_dataset.users()[0], k=5)
+        assert len(recs) > 0
+        assert all(not r.degraded for r in recs)
+        assert service.health.degraded_rows == 0
+
+
+@pytest.mark.slow
+class TestQuantizedGolden:
+    @pytest.fixture(scope="class")
+    def committed(self):
+        from tests.golden.regenerate import QUANTIZED_GOLDEN_PATH
+
+        return json.loads(QUANTIZED_GOLDEN_PATH.read_text())
+
+    @pytest.fixture(scope="class")
+    def fresh(self):
+        from tests.golden.regenerate import build_quantized_golden
+
+        return build_quantized_golden()
+
+    def test_meta_pins_the_recipe(self, committed):
+        assert committed["meta"]["quantization"] == "int8-embeddings+fp16-linears"
+        assert committed["meta"]["k"] == 10
+
+    def test_committed_agreement_gate(self, committed):
+        assert committed["agreement"] >= 0.99
+        for user, entry in committed["users"].items():
+            overlap = len(set(entry["pois"]) & set(entry["float32_pois"]))
+            assert overlap >= 9, f"user {user} slate overlap {overlap}/10"
+
+    def test_fresh_rebuild_matches_committed(self, committed, fresh):
+        assert set(fresh["users"]) == set(committed["users"])
+        for user, expected in committed["users"].items():
+            got = fresh["users"][user]
+            assert got["pois"] == expected["pois"], (
+                f"user {user} quantized ranking drifted"
+            )
+            np.testing.assert_allclose(
+                np.asarray(got["scores"]), np.asarray(expected["scores"]),
+                rtol=0.0, atol=1e-6,
+            )
+
+    def test_fresh_agreement_gate(self, fresh):
+        assert fresh["agreement"] >= 0.99

@@ -9,6 +9,8 @@ evaluate    evaluate a checkpoint with the paper's protocol
 compare     mini Table III over several models on one dataset
 check       run the repo-specific static lint pass (repro.lint)
 serve-bench benchmark the batched serving path across batch sizes
+serve-load  drive the async serving tier (continuous batching, admission
+            control, worker supervision) with a closed-loop Zipf load
 profile     train + serve a small run under full observability and
             print the span tree, per-op profile and metrics
 
@@ -21,6 +23,7 @@ python -m repro evaluate --data data.npz --model STiSAN --checkpoint model.npz
 python -m repro compare --data data.npz --models POP SASRec STiSAN
 python -m repro check src
 python -m repro serve-bench --data data.npz --batch-sizes 1 8 32 --num-users 64
+python -m repro serve-load --scale 0.1 --clients 64 --chaos-seed 0 --expect-no-loss
 python -m repro profile --scale 0.1 --epochs 1 --json-out metrics.json
 """
 
@@ -232,6 +235,115 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_serve_load(args) -> int:
+    import json as _json
+
+    from .faults import fault_injection
+    from .serving import (
+        LoadGenConfig,
+        ServingTier,
+        TierConfig,
+        run_load,
+        run_serial_baseline,
+    )
+
+    if args.data:
+        ds = _load_any(args.data)
+    else:
+        ds = load_dataset(args.profile, seed=args.seed, scale=args.scale)
+    model = make_recommender(
+        "STiSAN", ds, max_len=args.max_len, dim=args.dim, seed=args.seed,
+        stisan_config=STiSANConfig.small(
+            max_len=args.max_len, quadkey_level=17, quadkey_ngram=6
+        ),
+    )
+    if args.epochs > 0:
+        train_examples, _ = partition(ds, n=args.max_len)
+        model.fit(ds, train_examples, _train_config(args))
+    service = RecommendationService(
+        model, ds, max_len=args.max_len,
+        num_candidates=min(args.candidates, ds.num_pois - 1),
+    )
+    users = ds.users()[: args.num_users]
+    tier_cfg = TierConfig(
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1e3,
+        queue_depth=args.queue_depth,
+        shed_watermark=args.shed_watermark,
+        deadline_s=args.deadline_ms / 1e3,
+        num_workers=args.workers,
+        hang_timeout_s=args.hang_timeout_ms / 1e3,
+        shed_mode=args.shed_mode,
+        seed=args.seed,
+    )
+    load_cfg = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        zipf_exponent=args.zipf,
+        k=args.k,
+        seed=args.seed,
+    )
+    for user in users[: min(4, len(users))]:
+        service.recommend(user, k=args.k)  # warm slate/relation caches
+    plan = None
+    tier = ServingTier(service, tier_cfg)
+    try:
+        if args.chaos_seed is not None:
+            chaos = fault_injection(
+                dispatch_delay_rate=0.10,
+                dispatch_delay_s=0.02,
+                worker_crash_rate=0.05,
+                worker_hang_rate=0.05,
+                worker_hang_s=3.0 * tier_cfg.hang_timeout_s,
+                seed=args.chaos_seed,
+            )
+            with chaos as plan:
+                report = run_load(tier, users, load_cfg)
+        else:
+            report = run_load(tier, users, load_cfg)
+    finally:
+        tier.close()
+    print(f"serve-load: STiSAN on {ds.name} "
+          f"({len(users)} users, {load_cfg.clients} clients x "
+          f"{load_cfg.requests_per_client} reqs, zipf s={load_cfg.zipf_exponent}, "
+          f"{tier_cfg.num_workers} workers, max_batch={tier_cfg.max_batch}, "
+          f"deadline={tier_cfg.deadline_s * 1e3:.0f}ms"
+          + (f", chaos seed {args.chaos_seed}" if args.chaos_seed is not None else "")
+          + ")")
+    print(report.format())
+    if plan is not None:
+        injected = {f"{site}.{kind}": n for (site, kind), n in plan.counts().items() if n}
+        print(f"injected      {injected or 'nothing'}")
+    baseline = None
+    if not args.no_baseline:
+        baseline = run_serial_baseline(service, users, load_cfg)
+        speedup = report.qps / max(baseline["qps"], 1e-9)
+        print(f"serial        {baseline['qps']:.1f} qps  "
+              f"p50={baseline['p50_ms']:.1f}ms p99={baseline['p99_ms']:.1f}ms  "
+              f"->  tier speedup {speedup:.2f}x")
+    if args.json_out:
+        payload = {
+            "tier": report.to_dict(),
+            "serial": baseline,
+            "snapshot": tier.snapshot(),
+            "chaos_seed": args.chaos_seed,
+        }
+        Path(args.json_out).write_text(_json.dumps(payload, indent=2))
+        print(f"report JSON written to {args.json_out}")
+    if args.expect_no_loss:
+        audit_ok = (
+            report.lost == 0 and tier.verify_no_loss() and tier.workers_healthy()
+        )
+        if not audit_ok:
+            print("no-loss audit: FAILED "
+                  f"(lost={report.lost}, exactly_once={tier.verify_no_loss()}, "
+                  f"workers_healthy={tier.workers_healthy()})")
+            return 1
+        print("no-loss audit: ok (every request answered exactly once, "
+              "all workers healthy)")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from . import obs
     from .core.trainer import train_stisan
@@ -397,6 +509,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="serve from an int8/float16 quantized copy of "
                         "the model (inference-only)")
     p.set_defaults(func=cmd_serve_bench, epochs=1)
+
+    p = sub.add_parser(
+        "serve-load",
+        help="drive the async serving tier with a closed-loop Zipf load "
+             "and report p50/p99 latency, qps, shed rate and restarts",
+    )
+    add_train_args(p)
+    # --data is optional here: without it a synthetic profile is generated.
+    for action in p._actions:
+        if action.dest == "data":
+            action.required = False
+            action.default = None
+    p.add_argument("--profile", dest="profile", choices=DATASET_NAMES,
+                   default="gowalla", help="synthetic dataset when --data is absent")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--candidates", type=int, default=100)
+    p.add_argument("--num-users", type=int, default=64)
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--clients", type=int, default=64,
+                   help="closed-loop client threads")
+    p.add_argument("--requests-per-client", type=int, default=10)
+    p.add_argument("--zipf", type=float, default=1.3,
+                   help="Zipf exponent of the request mix")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--batch-window-ms", type=float, default=1.0)
+    p.add_argument("--queue-depth", type=int, default=256)
+    p.add_argument("--shed-watermark", type=int, default=None,
+                   help="soft queue depth above which requests are shed")
+    p.add_argument("--deadline-ms", type=float, default=500.0)
+    p.add_argument("--hang-timeout-ms", type=float, default=250.0)
+    p.add_argument("--shed-mode", choices=["reject", "degrade"], default="reject")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="install the fault harness (dispatch delays, worker "
+                        "crashes and hangs) with this seed")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the serial single-request baseline replay")
+    p.add_argument("--json-out", help="write the full report as JSON")
+    p.add_argument("--expect-no-loss", action="store_true",
+                   help="exit 1 unless every request was answered exactly "
+                        "once and all workers are healthy (CI gate)")
+    p.set_defaults(func=cmd_serve_load, epochs=0, quiet=True)
 
     p = sub.add_parser(
         "profile",

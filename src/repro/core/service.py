@@ -108,19 +108,39 @@ class UserSession:
 @dataclass
 class ServiceHealth:
     """Always-on degradation counters for one service instance
-    (mirrored into the global registry when observability is on)."""
+    (mirrored into the global registry when observability is on).
+
+    The last four fields are written by the async serving tier
+    (:mod:`repro.serving`) wrapping this service, so one health object
+    tells the whole overload story: requests that reached the model,
+    rows that degraded, and traffic the tier shed, timed out, requeued
+    or lost workers over.
+    """
 
     requests: int = 0
     degraded_rows: int = 0
     model_failures: int = 0
     short_circuits: int = 0
+    # --- written by the serving tier (zero for a bare service) ---
+    shed_requests: int = 0
+    timeout_requests: int = 0
+    requeued_requests: int = 0
+    worker_restarts: int = 0
 
     def __str__(self) -> str:
-        return (
+        out = (
             f"requests={self.requests} degraded_rows={self.degraded_rows} "
             f"model_failures={self.model_failures} "
             f"short_circuits={self.short_circuits}"
         )
+        if self.shed_requests or self.timeout_requests or self.requeued_requests \
+                or self.worker_restarts:
+            out += (
+                f" shed={self.shed_requests} timeouts={self.timeout_requests} "
+                f"requeued={self.requeued_requests} "
+                f"worker_restarts={self.worker_restarts}"
+            )
+        return out
 
 
 @dataclass
@@ -461,6 +481,12 @@ class RecommendationService:
                     len(users)
                 )
             self.health.requests += 1
+            if not users:
+                # The serving tier's dynamic batcher can legitimately
+                # dispatch an empty batch (every member expired or was
+                # shed between formation and execution).  Well-formed
+                # answer, model untouched, health already advanced.
+                return []
             sessions = [self._require_session(u) for u in users]
             with span("service.slate"):
                 slates = [

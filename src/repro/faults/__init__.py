@@ -1,6 +1,6 @@
 """``repro.faults`` — deterministic fault injection for robustness testing.
 
-A seeded :class:`FaultPlan` injects failures at the three seams the
+A seeded :class:`FaultPlan` injects failures at the seams the
 system already owns:
 
 - the **autograd op boundary** (NaN outputs, raised exceptions) — the
@@ -8,7 +8,10 @@ system already owns:
 - the **serving caches** (corrupted or spuriously evicted entries);
 - **checkpoint IO** (torn writes followed by a simulated crash, bit
   flips after a completed write) plus a trainer-level
-  ``crash_at_step`` kill switch for kill-and-resume tests.
+  ``crash_at_step`` kill switch for kill-and-resume tests;
+- the **async serving tier** (:mod:`repro.serving`): dispatch
+  ``delay``, worker ``crash`` and worker ``hang`` kinds, so chaos runs
+  exercise the timeout/retry/watchdog paths, not just crash/NaN paths.
 
 Everything is off by default behind one switch, mirroring
 :mod:`repro.obs`: hot paths pay a single ``is not None`` check per

@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` is the runtime object behind ``fault_injection``:
 each injection *site* (the autograd op boundary, the serving-cache
-layer, checkpoint IO, the trainer's checkpoint step) owns an
+layer, checkpoint IO, the trainer's checkpoint step, the async serving
+tier's dispatch/worker seams) owns an
 independent ``np.random.Generator`` derived from the plan seed, so the
 injections at one seam never shift the draws at another and the same
 config over the same workload reproduces the same failures, byte for
@@ -49,6 +50,7 @@ _SITE_IDS = {
     "cache": 2,
     "checkpoint_io": 3,
     "trainer": 4,
+    "serving": 5,
 }
 
 
@@ -74,11 +76,32 @@ class FaultConfig:
     #: Trainer: die with SimulatedCrash right after the checkpoint at
     #: this global step is saved (the kill-and-resume test's trigger).
     crash_at_step: Optional[int] = None
+    #: Serving tier: probability a dispatched batch is delayed before
+    #: execution (the ``delay`` fault kind — exercises timeout/retry
+    #: paths instead of crash paths).  The delay itself is *returned*
+    #: to the caller, which sleeps through its injectable clock; the
+    #: plan never sleeps.
+    dispatch_delay_rate: float = 0.0
+    #: Maximum injected dispatch delay in seconds (actual delay is a
+    #: uniform draw scaled by this).
+    dispatch_delay_s: float = 0.05
+    #: Serving tier: probability a worker's batch execution raises
+    #: InjectedFault (the worker thread dies; the supervisor must
+    #: restart it and requeue the batch).
+    worker_crash_rate: float = 0.0
+    #: Serving tier: probability a worker hangs (sleeps
+    #: ``worker_hang_s``) mid-batch, tripping the heartbeat watchdog.
+    worker_hang_rate: float = 0.0
+    #: Injected hang duration in seconds.
+    worker_hang_s: float = 1.0
 
     def __post_init__(self):
+        if self.dispatch_delay_s < 0 or self.worker_hang_s < 0:
+            raise ValueError("injected delay/hang durations must be >= 0")
         for name in (
             "op_nan_rate", "op_error_rate", "cache_corrupt_rate",
             "cache_evict_rate", "torn_write_rate", "bit_flip_rate",
+            "dispatch_delay_rate", "worker_crash_rate", "worker_hang_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -215,6 +238,51 @@ class FaultPlan:
         else:
             return None
         return corrupted
+
+    # ------------------------------------------------------------------
+    # Site: serving tier (consulted by repro.serving workers/dispatch)
+    # ------------------------------------------------------------------
+    def on_dispatch(self, batch_size: int = 0) -> float:
+        """The ``delay`` fault kind: seconds to stall a dispatched
+        batch before execution (0.0 = no injection).
+
+        The plan only *schedules* the delay; the serving tier sleeps
+        through its injectable clock, so fault plans stay clock-free
+        and virtual-time tests replay the same schedule.
+        """
+        cfg = self.config
+        if cfg.dispatch_delay_rate > 0.0:
+            rng = self._rngs["serving"]
+            if rng.random() < cfg.dispatch_delay_rate:
+                seconds = float(rng.random()) * cfg.dispatch_delay_s
+                self._record(
+                    "serving", "delay", seconds=seconds, batch_size=batch_size
+                )
+                return seconds
+        return 0.0
+
+    def on_worker_batch(self, worker: str) -> float:
+        """Worker-level failure injection for one batch execution.
+
+        Raises :class:`InjectedFault` for a worker *crash*; returns the
+        number of seconds the worker should *hang* (0.0 = healthy).
+        The crash gate is evaluated first so a single draw sequence
+        stays stable when both rates are set.
+        """
+        cfg = self.config
+        if cfg.worker_crash_rate > 0.0:
+            rng = self._rngs["serving"]
+            if rng.random() < cfg.worker_crash_rate:
+                self._record("serving", "crash", worker=worker)
+                raise InjectedFault(f"injected crash in serving worker {worker!r}")
+        if cfg.worker_hang_rate > 0.0:
+            rng = self._rngs["serving"]
+            if rng.random() < cfg.worker_hang_rate:
+                self._record(
+                    "serving", "hang", worker=worker, seconds=cfg.worker_hang_s
+                )
+                return cfg.worker_hang_s
+        return 0.0
 
     # ------------------------------------------------------------------
     # Site: checkpoint IO (installed via nn.serialization.set_io_fault_hook)

@@ -34,7 +34,7 @@ def is_enabled() -> bool:
 
 
 class fault_injection:
-    """Context manager installing a fault plan at all three seams.
+    """Context manager installing a fault plan at every seam.
 
     >>> with fault_injection(op_nan_rate=0.01, seed=7) as plan:
     ...     service.recommend_batch(users)

@@ -8,8 +8,11 @@ The model follows the Prometheus data model closely enough that
 - histograms have fixed upper bounds chosen at creation time and
   export cumulative ``_bucket`` samples plus ``_sum``/``_count``.
 
-Everything is plain python ints/floats — no locks, no background
-threads — because the serving and training loops are single-threaded.
+Everything is plain python ints/floats.  Family *creation* is guarded
+by one lock (the async serving tier registers metrics from several
+threads); metric *mutation* stays lock-free because every writer —
+the single-threaded training loop, or a serving-tier thread holding
+its tier/service lock — is externally serialized.
 Instrumentation sites call ``registry.counter(...).inc()`` only when
 :mod:`repro.obs.state` says the layer is enabled, so the registry never
 shows up on a disabled hot path.
@@ -24,6 +27,7 @@ import bisect
 import json
 import math
 import re
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -168,6 +172,12 @@ class MetricsRegistry:
         self._metrics: Dict[Tuple[str, LabelPairs], object] = {}
         self._kinds: Dict[str, str] = {}
         self._bucket_specs: Dict[str, Tuple[float, ...]] = {}
+        # Guards get-or-create only: two threads racing to register the
+        # same family must agree on one metric object.  *Mutating* a
+        # metric stays lock-free — concurrent writers of the same
+        # metric must serialize externally (the serving tier holds its
+        # own locks around every instrumented decision point).
+        self._create_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Creation / lookup
@@ -175,20 +185,29 @@ class MetricsRegistry:
     def _get(self, cls, name: str, labels: Optional[Dict[str, str]], **kwargs):
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
-        known = self._kinds.get(name)
-        if known is not None and known != cls.kind:
-            raise ValueError(f"metric {name!r} already registered as a {known}")
         pairs = _normalize_labels(labels)
         key = (name, pairs)
         metric = self._metrics.get(key)
-        if metric is None:
-            metric = cls(name, pairs, **kwargs)
-            self._metrics[key] = metric
-            self._kinds[name] = cls.kind
-            if cls.kind == "histogram":
-                spec = self._bucket_specs.setdefault(name, metric.buckets)
-                if spec != metric.buckets:
-                    raise ValueError(f"histogram {name!r} re-registered with different buckets")
+        if metric is not None:
+            known = self._kinds.get(name)
+            if known is not None and known != cls.kind:
+                raise ValueError(f"metric {name!r} already registered as a {known}")
+            return metric
+        with self._create_lock:
+            known = self._kinds.get(name)
+            if known is not None and known != cls.kind:
+                raise ValueError(f"metric {name!r} already registered as a {known}")
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, pairs, **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+                if cls.kind == "histogram":
+                    spec = self._bucket_specs.setdefault(name, metric.buckets)
+                    if spec != metric.buckets:
+                        raise ValueError(
+                            f"histogram {name!r} re-registered with different buckets"
+                        )
         return metric
 
     def counter(self, name: str, labels: Optional[Dict[str, str]] = None) -> Counter:

@@ -26,12 +26,17 @@ When enabled, every span:
   self-time attribution restarts at stage boundaries instead of
   absorbing inter-stage glue.
 
-The trace is process-global and single-threaded by design, matching
-the rest of the stack.
+The finished-trace ring is process-global; the *open-span stack* is
+thread-local so the serving tier's worker threads can each time their
+own request pipeline without corrupting one another's trees.  Completed
+top-level spans from every thread land in the same bounded ring
+(``deque.append`` is atomic under the GIL), which is what ``trace()``
+snapshots.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
@@ -83,7 +88,15 @@ class SpanRecord:
 
 
 _finished: "deque[SpanRecord]" = deque(maxlen=TRACE_LIMIT)
-_stack: List[SpanRecord] = []
+_local = threading.local()
+
+
+def _stack_of_thread() -> List[SpanRecord]:
+    """The calling thread's open-span stack (created on first use)."""
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
 
 
 class _NullSpan:
@@ -109,6 +122,7 @@ class _Span:
 
     def __enter__(self) -> SpanRecord:
         record = SpanRecord(self.name, 0.0)
+        _stack = _stack_of_thread()
         self._is_root = not _stack
         if _stack:
             _stack[-1].children.append(record)
@@ -123,6 +137,7 @@ class _Span:
     def __exit__(self, *exc) -> bool:
         record = self.record
         record.end_s = perf_counter()
+        _stack = _stack_of_thread()
         if _stack and _stack[-1] is record:
             _stack.pop()
         else:
@@ -153,9 +168,11 @@ def trace() -> List[SpanRecord]:
 
 
 def clear_trace() -> None:
-    """Drop all completed spans and abandon any open ones."""
+    """Drop all completed spans and abandon the calling thread's open
+    ones (other threads' open stacks are left to unwind on their own —
+    their in-flight records were never shared)."""
     _finished.clear()
-    _stack.clear()
+    _stack_of_thread().clear()
 
 
 # ----------------------------------------------------------------------

@@ -99,7 +99,7 @@ def reset_inherited_state() -> None:
     _tensor._op_profiler = None
     _serialization._io_fault_hook = None
     _faults_state._plan = None
-    _spans._stack.clear()
+    _spans._stack_of_thread().clear()
     _spans._finished.clear()
     _opprof._active = None
     REGISTRY.reset()

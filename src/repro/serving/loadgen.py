@@ -1,0 +1,275 @@
+"""Closed-loop load generator for the serving tier.
+
+Drives a Zipf-distributed request mix (a few hot users dominate, the
+long tail trickles — the shape that makes in-batch coalescing earn its
+keep) from ``clients`` closed-loop threads: each submits, blocks for
+the answer, submits again.  The report carries the numbers the
+acceptance gates read: p50/p99/mean latency (overall and for admitted
+requests), sustained qps, per-status counts, shed rate, worker
+restarts, and the loss audit (``lost`` must be zero — exactly-once is
+the whole point).
+
+:func:`run_serial_baseline` replays the *same* schedule through bare
+``service.recommend`` calls, one at a time — the honest single-request
+baseline for the batching-speedup gate (on a one-core box the tier's
+advantage is amortization + coalescing, not threads).
+
+Everything is seeded: the schedule via :func:`zipf_schedule`, the
+client partition by round-robin slicing, so two runs issue the same
+multiset of requests (completion order still depends on the OS
+scheduler; the *accounting* invariants do not).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.service import RecommendationService
+from .request import DEGRADED, SERVED, STATUSES
+from .tier import ServingTier
+
+__all__ = [
+    "zipf_schedule",
+    "LoadGenConfig",
+    "LoadReport",
+    "run_load",
+    "run_serial_baseline",
+]
+
+
+def zipf_schedule(
+    num_users: int, n_requests: int, exponent: float = 1.1, seed: int = 0
+) -> np.ndarray:
+    """Seeded Zipf draw: ``n_requests`` indices into ``[0, num_users)``.
+
+    Rank ``r`` gets probability proportional to ``r ** -exponent``
+    (truncated to the catalogue, unlike ``np.random.zipf`` whose
+    support is unbounded), so the mix is reproducible and bounded.
+    """
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be >= 0, got {n_requests}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, num_users + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    probs = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    return rng.choice(num_users, size=n_requests, p=probs)
+
+
+@dataclass
+class LoadGenConfig:
+    """One load-generation run."""
+
+    clients: int = 8
+    requests_per_client: int = 50
+    zipf_exponent: float = 1.1
+    k: int = 10
+    exclude_visited: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be >= 1, got {self.requests_per_client}"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured (see :meth:`to_dict` for the schema)."""
+
+    total_requests: int
+    elapsed_s: float
+    qps: float
+    by_status: Dict[str, int]
+    lost: int
+    latency_ms: Dict[str, float]
+    admitted_latency_ms: Dict[str, float]
+    shed_rate: float
+    restarts: Dict[str, int]
+    requeued: int
+    retries: int
+    late_results: int
+    coalesced: int
+    queue_peak_depth: int
+    workers: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_requests": self.total_requests,
+            "elapsed_s": self.elapsed_s,
+            "qps": self.qps,
+            "by_status": dict(self.by_status),
+            "lost": self.lost,
+            "latency_ms": dict(self.latency_ms),
+            "admitted_latency_ms": dict(self.admitted_latency_ms),
+            "shed_rate": self.shed_rate,
+            "restarts": dict(self.restarts),
+            "requeued": self.requeued,
+            "retries": self.retries,
+            "late_results": self.late_results,
+            "coalesced": self.coalesced,
+            "queue_peak_depth": self.queue_peak_depth,
+            "workers": list(self.workers),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"requests      {self.total_requests} in {self.elapsed_s:.2f}s"
+            f"  ->  {self.qps:.1f} qps",
+            "status        "
+            + "  ".join(f"{s}={self.by_status.get(s, 0)}" for s in STATUSES)
+            + f"  lost={self.lost}",
+            f"latency (ms)  p50={self.latency_ms['p50']:.1f}"
+            f"  p99={self.latency_ms['p99']:.1f}"
+            f"  mean={self.latency_ms['mean']:.1f}",
+        ]
+        if self.admitted_latency_ms:
+            lines.append(
+                f"admitted (ms) p50={self.admitted_latency_ms['p50']:.1f}"
+                f"  p99={self.admitted_latency_ms['p99']:.1f}"
+                f"  mean={self.admitted_latency_ms['mean']:.1f}"
+            )
+        lines.append(
+            f"shed_rate     {self.shed_rate:.3f}"
+            f"  requeued={self.requeued}  retries={self.retries}"
+            f"  restarts={sum(self.restarts.values())} {dict(self.restarts)}"
+            f"  late={self.late_results}  coalesced={self.coalesced}"
+            f"  peak_depth={self.queue_peak_depth}"
+        )
+        return "\n".join(lines)
+
+
+def _percentiles(latencies_s: Sequence[float]) -> Dict[str, float]:
+    if not latencies_s:
+        return {"p50": 0.0, "p99": 0.0, "mean": 0.0}
+    arr = np.asarray(latencies_s, dtype=np.float64) * 1e3
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+    }
+
+
+def run_load(
+    tier: ServingTier,
+    users: Sequence[int],
+    config: Optional[LoadGenConfig] = None,
+) -> LoadReport:
+    """Drive ``tier`` with a closed-loop Zipf mix and report.
+
+    ``users`` is the pool of user ids with history (schedule indices
+    map into it).  The tier is left open — callers own its lifecycle.
+    """
+    cfg = config or LoadGenConfig()
+    users = list(users)
+    schedule = zipf_schedule(
+        len(users), cfg.total_requests, cfg.zipf_exponent, cfg.seed
+    )
+    clock = tier._clock
+    # Round-robin partition keeps each client's sub-schedule seeded.
+    slices = [schedule[i :: cfg.clients] for i in range(cfg.clients)]
+    results: List[List] = [[] for _ in range(cfg.clients)]
+    lost_counts = [0] * cfg.clients
+
+    def _client(idx: int) -> None:
+        for user_idx in slices[idx]:
+            response = tier.request(
+                users[int(user_idx)],
+                k=cfg.k,
+                exclude_visited=cfg.exclude_visited,
+            )
+            if response is None:
+                lost_counts[idx] += 1
+            else:
+                results[idx].append(response)
+
+    threads = [
+        threading.Thread(target=_client, args=(i,), name=f"loadgen-{i}")
+        for i in range(cfg.clients)
+    ]
+    start = clock.now()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = max(clock.now() - start, 1e-9)
+
+    responses = [r for chunk in results for r in chunk]
+    by_status = {s: 0 for s in STATUSES}
+    for r in responses:
+        by_status[r.status] += 1
+    admitted = [r for r in responses if r.status in (SERVED, DEGRADED)]
+    snap = tier.snapshot()
+    total = cfg.total_requests
+    return LoadReport(
+        total_requests=total,
+        elapsed_s=elapsed,
+        qps=total / elapsed,
+        by_status=by_status,
+        lost=total - len(responses),
+        latency_ms=_percentiles([r.latency_s for r in responses]),
+        admitted_latency_ms=_percentiles([r.latency_s for r in admitted]),
+        shed_rate=by_status["shed"] / total if total else 0.0,
+        restarts=dict(snap["restarts"]),
+        requeued=int(snap["requeued"]),
+        retries=int(snap["retries"]),
+        late_results=int(snap["late_results"]),
+        coalesced=int(snap["coalesced"]),
+        queue_peak_depth=int(snap["queue_peak_depth"]),
+        workers=list(snap["workers"]),
+    )
+
+
+def run_serial_baseline(
+    service: RecommendationService,
+    users: Sequence[int],
+    config: Optional[LoadGenConfig] = None,
+    clock=None,
+) -> Dict[str, float]:
+    """Replay the same seeded schedule one ``recommend`` at a time.
+
+    The apples-to-apples baseline for the tier's throughput gate:
+    identical request multiset, no batching, no coalescing.
+    """
+    from .clock import MonotonicClock
+
+    cfg = config or LoadGenConfig()
+    clk = clock or MonotonicClock()
+    users = list(users)
+    schedule = zipf_schedule(
+        len(users), cfg.total_requests, cfg.zipf_exponent, cfg.seed
+    )
+    latencies: List[float] = []
+    start = clk.now()
+    for user_idx in schedule:
+        t0 = clk.now()
+        service.recommend(
+            users[int(user_idx)], k=cfg.k, exclude_visited=cfg.exclude_visited
+        )
+        latencies.append(clk.now() - t0)
+    elapsed = max(clk.now() - start, 1e-9)
+    pct = _percentiles(latencies)
+    return {
+        "total_requests": float(cfg.total_requests),
+        "elapsed_s": elapsed,
+        "qps": cfg.total_requests / elapsed,
+        "p50_ms": pct["p50"],
+        "p99_ms": pct["p99"],
+        "mean_ms": pct["mean"],
+    }

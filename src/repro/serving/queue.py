@@ -1,0 +1,155 @@
+"""The bounded request queue and the dynamic batch former.
+
+One condition variable guards a deque of :class:`TierRequest`.  Three
+writers touch it: admission (``offer`` — refused outright when the
+queue is at capacity, which is what makes shedding *explicit*), the
+supervisor (``requeue`` — returns a failed worker's requests to the
+*front*, above the capacity bound, because admitted work must never be
+shed retroactively), and the watchdog (``drain_expired`` — sweeps out
+requests whose deadline passed while queued so their callers are
+answered by the deadline rather than at some eventual dispatch).
+
+Workers pull with :meth:`next_batch` — the continuous-batching core:
+block until the queue is non-empty, then dispatch as soon as either
+``max_batch`` requests are available or the *oldest* queued request
+has waited ``window_s`` since it was enqueued, whichever comes first.
+The window anchors on enqueue time, so a backlog that built up while
+every worker was busy dispatches immediately instead of paying the
+window again.
+
+The deadline arithmetic is factored into the pure
+:func:`batch_dispatch_deadline` so virtual-clock tests can pin the
+policy without threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import List, Optional, Sequence
+
+from .clock import Clock
+from .request import TierRequest
+
+__all__ = ["BoundedRequestQueue", "batch_dispatch_deadline"]
+
+
+def batch_dispatch_deadline(
+    oldest_enqueued_at: float, window_s: float
+) -> float:
+    """When a partially-filled batch must dispatch anyway."""
+    return oldest_enqueued_at + window_s
+
+
+class BoundedRequestQueue:
+    """Bounded FIFO of pending requests (see module docstring)."""
+
+    def __init__(self, maxsize: int, clock: Clock):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._clock = clock
+        self._items: "deque[TierRequest]" = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        #: High-water mark of the depth (reported by tier stats).
+        self.peak_depth = 0
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        return len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def offer(self, request: TierRequest) -> bool:
+        """Enqueue if there is room; False means *shed me* (queue at
+        capacity or closed) — the caller owes the request a response."""
+        with self._cond:
+            if self._closed or len(self._items) >= self.maxsize:
+                return False
+            request.enqueued_at = self._clock.now()
+            self._items.append(request)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            self._cond.notify()
+            return True
+
+    def requeue(self, requests: Sequence[TierRequest]) -> bool:
+        """Return a failed worker's requests to the front of the line.
+
+        Ignores ``maxsize`` on purpose: these requests were already
+        admitted, and admitted work is never shed retroactively.  Front
+        placement preserves their original ordering ahead of younger
+        traffic.  False only when the queue is closed (shutdown beat
+        the requeue; the supervisor resolves them instead).
+        """
+        with self._cond:
+            if self._closed:
+                return False
+            now = self._clock.now()
+            for request in reversed(list(requests)):
+                request.enqueued_at = now
+                self._items.appendleft(request)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            self._cond.notify_all()
+            return True
+
+    def drain_expired(self, now: float) -> List[TierRequest]:
+        """Remove and return every queued request past its deadline."""
+        with self._cond:
+            expired = [r for r in self._items if r.expired(now)]
+            if expired:
+                self._items = deque(
+                    r for r in self._items if not r.expired(now)
+                )
+            return expired
+
+    def drain_all(self) -> List[TierRequest]:
+        """Empty the queue (shutdown sweep); returns what was queued."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    # ------------------------------------------------------------------
+    def next_batch(self, max_batch: int, window_s: float) -> Optional[List[TierRequest]]:
+        """Block for the next dynamic batch.
+
+        Returns None when the queue is closed (the worker's signal to
+        exit) and may return an empty list on contended wakeups (two
+        workers racing for one arrival) — callers just loop.
+        """
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            # At least one request: fill until max_batch or until the
+            # oldest member's window elapses, whichever comes first.
+            while len(self._items) < max_batch and not self._closed:
+                deadline = batch_dispatch_deadline(
+                    self._items[0].enqueued_at, window_s
+                )
+                remaining = deadline - self._clock.now()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+                if not self._items:
+                    # A rival worker (or the watchdog's expiry sweep)
+                    # emptied the queue while we waited.
+                    return []
+            take = min(max_batch, len(self._items))
+            return [self._items.popleft() for _ in range(take)]
+
+    def close(self) -> None:
+        """Refuse all further traffic and wake every waiting worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

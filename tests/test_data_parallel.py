@@ -475,7 +475,7 @@ class TestForkHygiene:
         with fault_injection(op_nan_rate=0.5):
             _tensor._arena = sentinel
             _tensor._op_profiler = sentinel
-            _spans._stack.append(sentinel)
+            _spans._stack_of_thread().append(sentinel)
             _spans._finished.append(sentinel)
             REGISTRY.counter("repro_test_leak_total").inc()
             assert _faults_state._plan is not None
@@ -489,7 +489,7 @@ class TestForkHygiene:
             assert _tensor._op_profiler is None
             assert _serialization._io_fault_hook is None
             assert _faults_state._plan is None
-            assert len(_spans._stack) == 0 and len(_spans._finished) == 0
+            assert len(_spans._stack_of_thread()) == 0 and len(_spans._finished) == 0
             assert "repro_test_leak_total" not in [
                 m["name"] for m in REGISTRY.to_json()["metrics"]
             ]

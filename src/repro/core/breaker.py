@@ -161,6 +161,28 @@ class CircuitBreaker:
             REGISTRY.gauge("repro_breaker_state").set(_STATE_GAUGE[new_state])
         self.state = new_state
 
+    def effective_state(self) -> str:
+        """The state an arriving request would observe — read-only.
+
+        In time-based mode an open breaker whose recovery window has
+        elapsed reports ``half_open`` here without mutating anything
+        (the actual transition still happens inside
+        :meth:`allow_request`, on the probe itself).  Pollers that
+        gate traffic on the breaker — e.g. a serving tier shedding on
+        ``open`` — must consult this instead of the raw ``state``
+        attribute: ``state`` only advances inside ``allow_request``,
+        which shed traffic never reaches, so gating on ``state`` would
+        wedge a quiet tier open forever.
+        """
+        if (
+            self.state == OPEN
+            and self.time_based
+            and self._reopen_at is not None
+            and self._time_source() >= self._reopen_at
+        ):
+            return HALF_OPEN
+        return self.state
+
     # ------------------------------------------------------------------
     def allow_request(self) -> bool:
         """Should this request reach the model?

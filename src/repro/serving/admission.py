@@ -17,7 +17,12 @@ Shed reasons, in evaluation order:
   default: with a request-count breaker the queued traffic is what
   advances the recovery countdown, so shedding everything here would
   wedge the breaker open.  Enable it alongside a *time-based* breaker
-  (PR 9's recovery window), whose reopen needs no traffic.
+  (PR 9's recovery window), whose reopen needs no traffic — provided
+  the caller passes ``CircuitBreaker.effective_state()`` (as the tier
+  does), the read-only probe that reports ``half_open`` once the
+  window elapses.  The raw ``state`` attribute only advances inside
+  ``allow_request``, which shed traffic never reaches: gating on it
+  would shed 100% forever after one trip.
 
 What a shed request *receives* is the tier's choice (``shed_mode``):
 ``reject`` answers immediately with an empty payload; ``degrade``

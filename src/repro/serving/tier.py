@@ -23,8 +23,11 @@ service, its caches, breaker and the obs metric objects are
 single-threaded by design, so the tier serializes *every* service call
 behind ``_service_lock`` and all of its own accounting behind the
 re-entrant ``_lock``.  The queue has its own condition.  Lock order is
-``_service_lock`` -> ``_lock`` or either alone — never the reverse —
-so deadlock is impossible by construction.  On a one-core box this
+``_lock`` -> ``_service_lock`` or either alone — never the reverse:
+recovery resolves fallback payloads (service lock) while already
+holding the tier lock, so the service lock is always the *inner* one,
+and no path takes ``_lock`` while holding ``_service_lock``.  That
+single direction makes deadlock impossible.  On a one-core box this
 serialization costs nothing: throughput comes from *batching* (one
 model call amortized over up to ``max_batch`` requests), not thread
 parallelism.
@@ -225,10 +228,14 @@ class ServingTier:
             self._outstanding[request.id] = request
             if _obs._enabled:
                 REGISTRY.counter("repro_tier_submitted_total").inc()
+        # effective_state (not raw .state): a time-based breaker only
+        # transitions inside allow_request, which shed traffic never
+        # reaches — gating on .state would wedge a quiet tier open
+        # forever after one trip.
         decision = self.admission.decide(
             depth=self.queue.depth(),
             closing=self._closing,
-            breaker_state=self.service.breaker.state,
+            breaker_state=self.service.breaker.effective_state(),
         )
         if decision.admit and self.queue.offer(request):
             with self._lock:
@@ -237,9 +244,16 @@ class ServingTier:
                     REGISTRY.counter("repro_tier_admitted_total").inc()
                     REGISTRY.gauge("repro_tier_queue_depth").set(self.queue.depth())
             return request
-        # Shed: either the policy said no or the queue filled between
-        # the decision and the offer (the queue is the authority).
-        reason = decision.reason or "queue_full"
+        # Shed: either the policy said no or the queue filled/closed
+        # between the decision and the offer (the queue is the
+        # authority).  A close() racing this submit closes the queue,
+        # not fills it — report that as shutdown, not queue_full.
+        if decision.reason:
+            reason = decision.reason
+        elif self._closing or self.queue.closed:
+            reason = "shutdown"
+        else:
+            reason = "queue_full"
         self._finish_shed(request, reason)
         return request
 
@@ -312,7 +326,7 @@ class ServingTier:
                 self.stats.coalesced += coalesced
                 if _obs._enabled:
                     REGISTRY.counter("repro_tier_coalesced_total").inc(coalesced)
-        rows = self._call_service(users, kmax, exclude_visited)
+        rows = self._call_service(users, kmax, exclude_visited, worker)
         now = self._clock.now()
         for request in group:
             recs = rows[row_of[request.user]][: request.k]
@@ -330,7 +344,24 @@ class ServingTier:
                 ),
             )
 
-    def _call_service(self, users, kmax, exclude_visited):
+    def _acquire_service_lock(self, worker=None) -> None:
+        """Take the service lock, refreshing ``worker``'s heartbeat
+        while queued behind another worker's dispatch.
+
+        Lock-wait is queuing, not hanging: a worker blocked here behind
+        a slow max_batch dispatch is alive, so its heartbeat must not
+        go stale or the watchdog would abandon it, requeue its batch
+        and double-score every slow batch under sustained load.
+        """
+        if worker is None:
+            self._service_lock.acquire()
+            return
+        tick = self.config.hang_timeout_s / 4.0
+        while not self._service_lock.acquire(timeout=tick):
+            with self._lock:
+                worker.heartbeat = self._clock.now()
+
+    def _call_service(self, users, kmax, exclude_visited, worker=None):
         """One batched model call, with seeded retry-with-backoff.
 
         Exhausting the retry budget re-raises: the worker "crashes" and
@@ -340,10 +371,13 @@ class ServingTier:
         attempt = 0
         while True:
             try:
-                with self._service_lock:
+                self._acquire_service_lock(worker)
+                try:
                     return self.service.recommend_batch(
                         users, k=kmax, exclude_visited=exclude_visited
                     )
+                finally:
+                    self._service_lock.release()
             except Exception:
                 if attempt >= self.config.max_dispatch_retries:
                     raise

@@ -141,6 +141,12 @@ class InferenceWorker:
                 tier._note_injected_delay(delay_s)
                 clock.sleep(delay_s)
                 with tier._lock:
+                    if self.abandoned:
+                        # The watchdog declared this worker hung during
+                        # the stall: batch requeued, successor running.
+                        # Scoring it again would duplicate the queue's
+                        # copy.  Touch nothing (mirrors the hang path).
+                        return
                     self.heartbeat = clock.now()
             if hang_s > 0:
                 # The hang: heartbeat goes stale on purpose.

@@ -17,6 +17,7 @@ Three layers of coverage:
 
 import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -33,6 +34,7 @@ from repro.serving import (
     AdmissionController,
     AdmissionDecision,
     BoundedRequestQueue,
+    InferenceWorker,
     LoadGenConfig,
     ManualClock,
     ServingTier,
@@ -264,6 +266,29 @@ class TestTimeBasedBreaker:
         assert 1.0 <= widths(7) <= 1.5 + 1e-9
         assert widths(7) != widths(8)
 
+    def test_effective_state_probe_is_read_only(self):
+        clock = ManualClock()
+        breaker = self.make(clock)
+        assert breaker.effective_state() == CLOSED
+        self.trip(breaker)
+        assert breaker.effective_state() == OPEN
+        clock.advance(0.99)
+        assert breaker.effective_state() == OPEN  # inside the window
+        clock.advance(0.02)
+        # Past the window: the probe reports half-open while the real
+        # state stays open — no mutation, however often it is polled.
+        assert breaker.effective_state() == HALF_OPEN
+        assert breaker.effective_state() == HALF_OPEN
+        assert breaker.state == OPEN
+        assert breaker.allow_request()  # the actual transition
+        assert breaker.state == HALF_OPEN
+
+    def test_effective_state_mirrors_state_in_count_mode(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_requests=2)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.effective_state() == OPEN
+
     def test_count_mode_unchanged_by_default(self):
         breaker = CircuitBreaker(failure_threshold=1, recovery_requests=2)
         assert not breaker.time_based
@@ -315,6 +340,50 @@ class TestServingFaultSites:
             FaultConfig(worker_crash_rate=1.5)
         with pytest.raises(ValueError):
             FaultConfig(worker_hang_s=-1.0)
+
+
+class _StubTier:
+    """The minimal tier surface ``InferenceWorker._process`` touches."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._lock = threading.RLock()
+        self.scored = []
+        self.delays = []
+
+    def _note_injected_delay(self, seconds):
+        self.delays.append(seconds)
+
+    def _score_batch(self, worker, batch):
+        self.scored.append(list(batch))
+
+
+class TestAbandonedWorkerDelayPath:
+    def test_abandoned_during_delay_never_scores(self):
+        # A worker the watchdog abandoned during an injected dispatch
+        # delay must not score its (already requeued) batch: that would
+        # double-score it and inflate requeue/attempt accounting.
+        clock = ManualClock()
+        tier = _StubTier(clock)
+        worker = InferenceWorker(tier, slot=0, generation=0)
+        with fault_injection(
+            dispatch_delay_rate=1.0, dispatch_delay_s=0.01, seed=0
+        ):
+            worker.abandoned = True  # the watchdog got here first
+            worker._process([make_request(clock)])
+        assert tier.delays, "the delay site must have fired"
+        assert tier.scored == []
+
+    def test_delay_then_score_when_not_abandoned(self):
+        clock = ManualClock()
+        tier = _StubTier(clock)
+        worker = InferenceWorker(tier, slot=0, generation=0)
+        batch = [make_request(clock)]
+        with fault_injection(
+            dispatch_delay_rate=1.0, dispatch_delay_s=0.01, seed=0
+        ):
+            worker._process(batch)
+        assert tier.scored == [batch]
 
 
 class TestServiceBatchEdges:
@@ -484,6 +553,88 @@ class TestTierServes:
         responses = [h.wait(10.0) for h in handles]
         reasons = {r.reason for r in responses if r and r.status == SHED}
         assert "backpressure" in reasons
+
+
+class TestBreakerGatedAdmission:
+    def test_time_based_recovery_unwedges_shedding(self, micro_dataset):
+        # Regression for the shed-forever wedge: with
+        # shed_on_breaker_open=True, shed traffic never reaches
+        # allow_request, so only the read-only effective_state probe
+        # can observe the recovery window elapsing.  Trip the breaker,
+        # advance its clock past the window with ZERO admitted traffic
+        # in between, and new submits must flow again.
+        bclock = ManualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time_s=1.0, time_source=bclock.now
+        )
+        service = make_service(micro_dataset, breaker=breaker)
+        users = warm_users(service, micro_dataset, count=2)
+        cfg = quiet_config(shed_on_breaker_open=True)
+        with ServingTier(service, cfg) as tier:
+            breaker.record_failure()
+            assert breaker.state == OPEN
+            shed = tier.request(users[0], k=3)
+            assert shed is not None and shed.status == SHED
+            assert shed.reason == "breaker_open"
+            bclock.advance(1.0 + 1e-9)
+            served = tier.request(users[1], k=3)
+            assert served is not None and served.status == SERVED
+            assert served.recommendations
+            # The probe flowed to the model, succeeded, and closed the
+            # breaker — recovery needed no traffic during the window.
+            assert breaker.state == CLOSED
+        assert tier.verify_no_loss()
+        assert tier.stats.shed_reasons.get("breaker_open") == 1
+
+    def test_queue_closed_race_sheds_as_shutdown(self, micro_dataset):
+        # close() racing a submit: admission can read _closing just
+        # before it flips, then offer() fails on the closed queue.  The
+        # shed reason must say shutdown, not queue_full.
+        service = make_service(micro_dataset)
+        users = warm_users(service, micro_dataset, count=1)
+        tier = ServingTier(service, quiet_config())
+        try:
+            tier.queue.close()  # the race window, frozen
+            response = tier.request(users[0], k=3)
+            assert response is not None and response.status == SHED
+            assert response.reason == "shutdown"
+        finally:
+            tier.close(drain=False)
+        assert tier.stats.shed_reasons.get("shutdown", 0) >= 1
+        assert tier.verify_no_loss()
+
+
+class TestLockWaitIsNotAHang:
+    def test_worker_queued_on_service_lock_not_flagged_hung(self, micro_dataset):
+        # A worker blocked on _service_lock behind another worker's
+        # slow dispatch is queuing, not hanging: its heartbeat must
+        # stay fresh so the watchdog never requeues its batch or
+        # respawns its slot.
+        service = make_service(micro_dataset)
+        users = warm_users(service, micro_dataset, count=1)
+        cfg = quiet_config(
+            num_workers=1, hang_timeout_s=0.2, watchdog_interval_s=0.05,
+            batch_window_s=0.25,
+        )
+        tier = ServingTier(service, cfg)
+        try:
+            handle = tier.submit(users[0], k=3)
+            # Simulate the rival worker's long dispatch: hold the
+            # service lock across several hang-timeout windows while
+            # the lone worker queues behind it.
+            assert tier._service_lock.acquire(timeout=5.0)
+            try:
+                time.sleep(0.8)
+            finally:
+                tier._service_lock.release()
+            response = handle.wait(10.0)
+        finally:
+            tier.close()
+        assert response is not None and response.status == SERVED
+        assert response.attempts == 1  # never requeued
+        assert "hang" not in tier.stats.restarts
+        assert tier.stats.requeued == 0
+        assert tier.verify_no_loss()
 
 
 class TestSupervision:

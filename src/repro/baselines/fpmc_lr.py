@@ -20,7 +20,6 @@ import numpy as np
 from ..core.config import TrainConfig
 from ..data.sequences import SequenceExample
 from ..data.types import CheckInDataset
-from ..geo.neighbors import PoiIndex
 from .base import SequentialRecommender, last_real_positions, register
 from .bpr import training_transitions
 
@@ -66,14 +65,13 @@ class FPMCLR(SequentialRecommender):
         num_pois = dataset.num_pois
         k = min(self.neighborhood, num_pois - 1)
 
-        # Localized regions: each POI's candidate neighbourhood.
-        index = PoiIndex(dataset.poi_coords[1:], offset=1)
+        # Localized regions: each POI's candidate neighbourhood, built
+        # in one vectorized batch query on the shared dataset index
+        # (canonical (distance, id) order; k is clamped to num_pois - 1
+        # above, so every row is exactly full).
+        index = dataset.spatial_index()
         self._pools = np.zeros((num_pois + 1, k), dtype=np.int64)
-        for poi in range(1, num_pois + 1):
-            ids, _ = index.query(poi, k)
-            self._pools[poi, : len(ids)] = ids
-            if len(ids) < k:
-                self._pools[poi, len(ids):] = ids[-1] if len(ids) else poi
+        self._pools[1:] = index.knn_batch(k)
 
         scale = 1.0 / np.sqrt(self.dim)
         self.v_user = rng.normal(0, scale, (len(users), self.dim))

@@ -98,6 +98,7 @@ def _train_config(args) -> TrainConfig:
         temperature=args.temperature,
         seed=args.seed,
         verbose=not args.quiet,
+        loss_shard_size=getattr(args, "loss_shard_size", 0),
     )
 
 
@@ -463,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="train a model")
     add_train_args(p)
+    p.add_argument("--loss-shard-size", type=int, default=0,
+                   help="rows of the flattened (batch*steps) axis per loss "
+                        "shard; 0 = unsharded (gradients are bitwise "
+                        "identical either way, peak loss memory is not)")
     p.add_argument("--out", help="checkpoint output path (.npz)")
     p.add_argument("--checkpoint-dir",
                    help="directory for crash-safe training checkpoints (STiSAN)")

@@ -105,12 +105,21 @@ class TrainConfig:
     grad_clip: float = 5.0
     seed: int = 0
     verbose: bool = False
+    # Rows of the flattened (b·n) step axis per loss shard; 0 = the
+    # unsharded loss.  Sharding keeps the loss head's peak memory flat
+    # in batch footprint (gradients stay bitwise identical; see
+    # repro.core.loss.weighted_bce_loss_sharded).
+    loss_shard_size: int = 0
 
     def __post_init__(self):
         if self.epochs < 1 or self.batch_size < 1:
             raise ValueError("epochs and batch_size must be positive")
         if self.temperature <= 0:
             raise ValueError("temperature must be positive")
+        if self.loss_shard_size < 0:
+            raise ValueError(
+                f"loss_shard_size must be >= 0, got {self.loss_shard_size}"
+            )
 
 
 #: Per-dataset temperatures from Section IV-D.

@@ -57,7 +57,6 @@ import numpy as np
 from ..data.sequences import pad_head
 from ..data.types import PAD_POI, CheckInDataset
 from ..geo.haversine import haversine
-from ..geo.neighbors import PoiIndex
 from ..nn.quantize import quantize_for_serving
 from ..nn.tensor import no_grad
 from ..obs import REGISTRY, span
@@ -213,7 +212,9 @@ class RecommendationService:
         attach = getattr(model, "use_serving_caches", None)
         if callable(attach):
             attach(self.caches)
-        self._index = PoiIndex(dataset.poi_coords[1:], offset=1)
+        # Dataset-level shared spatial index: the same handle training
+        # and evaluation use, so serving never builds a duplicate.
+        self._index = dataset.spatial_index()
         # Catalogue-wide visit counts: the popularity tie-break of the
         # degraded fallback ranking (static, like the coordinates).
         self._popularity = np.zeros(dataset.num_pois + 1, dtype=np.int64)

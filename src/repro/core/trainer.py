@@ -39,7 +39,7 @@ from ..obs import state as _obs
 from .checkpoint import TrainerCheckpoint, TrainProgress
 from .config import TrainConfig
 from .early_stopping import EarlyStopping
-from .loss import weighted_bce_loss
+from .loss import weighted_bce_loss, weighted_bce_loss_sharded
 from .stisan import STiSAN
 
 
@@ -72,6 +72,7 @@ def _fingerprint(
         "negative_pool": config.negative_pool,
         "temperature": config.temperature,
         "grad_clip": config.grad_clip,
+        "loss_shard_size": config.loss_shard_size,
         "num_examples": num_examples,
         "has_validation": has_validation,
     }
@@ -222,9 +223,18 @@ def train_stisan(
                             pos, neg = model.forward_train(
                                 batch.src, batch.times, batch.tgt, batch.negatives
                             )
-                            loss = weighted_bce_loss(
-                                pos, neg, batch.target_mask, temperature=config.temperature
-                            )
+                            if config.loss_shard_size:
+                                loss = weighted_bce_loss_sharded(
+                                    pos,
+                                    neg,
+                                    batch.target_mask,
+                                    temperature=config.temperature,
+                                    shard_size=config.loss_shard_size,
+                                )
+                            else:
+                                loss = weighted_bce_loss(
+                                    pos, neg, batch.target_mask, temperature=config.temperature
+                                )
                         optimizer.zero_grad()
                         with span("train.backward"):
                             loss.backward()

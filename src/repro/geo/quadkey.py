@@ -20,20 +20,35 @@ MIN_LONGITUDE = -180.0
 MAX_LONGITUDE = 180.0
 
 
-def latlon_to_quadkey(lat: float, lon: float, level: int = 17) -> str:
-    """Encode a GPS coordinate as a quadkey string of length ``level``."""
+def latlon_to_tile_xy(lat, lon, level: int = 17):
+    """Vectorized (lat, lon) -> Web-Mercator tile coordinates.
+
+    Accepts scalars or same-shape arrays; returns int64 ``(tile_x,
+    tile_y)`` of the same shape.  Latitudes beyond the Mercator clamp
+    (poles) land in the edge tile rows, longitudes are clamped to
+    [-180, 180].  This is the tile math of :func:`latlon_to_quadkey`,
+    exposed separately so :class:`repro.geo.grid.GridIndex` can bucket
+    an entire POI catalogue in one shot.
+    """
     if not 1 <= level <= 23:
         raise ValueError(f"zoom level must be in [1, 23], got {level}")
-    lat = min(max(float(lat), MIN_LATITUDE), MAX_LATITUDE)
-    lon = min(max(float(lon), MIN_LONGITUDE), MAX_LONGITUDE)
+    lat = np.clip(np.asarray(lat, dtype=np.float64), MIN_LATITUDE, MAX_LATITUDE)
+    lon = np.clip(np.asarray(lon, dtype=np.float64), MIN_LONGITUDE, MAX_LONGITUDE)
 
     x = (lon + 180.0) / 360.0
     sin_lat = np.sin(np.radians(lat))
     y = 0.5 - np.log((1.0 + sin_lat) / (1.0 - sin_lat)) / (4.0 * np.pi)
 
     map_size = 1 << level
-    tile_x = int(min(max(x * map_size, 0), map_size - 1))
-    tile_y = int(min(max(y * map_size, 0), map_size - 1))
+    tile_x = np.minimum(np.maximum(x * map_size, 0), map_size - 1).astype(np.int64)
+    tile_y = np.minimum(np.maximum(y * map_size, 0), map_size - 1).astype(np.int64)
+    return tile_x, tile_y
+
+
+def latlon_to_quadkey(lat: float, lon: float, level: int = 17) -> str:
+    """Encode a GPS coordinate as a quadkey string of length ``level``."""
+    tile_x, tile_y = latlon_to_tile_xy(float(lat), float(lon), level)
+    tile_x, tile_y = int(tile_x), int(tile_y)
 
     digits: List[str] = []
     for i in range(level, 0, -1):

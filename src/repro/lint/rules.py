@@ -22,6 +22,9 @@ REPRO-ATOMICIO   no bare write-mode open / np.savez / Path.write_* in
                  atomic, checksummed writer in repro.nn.serialization
 REPRO-FUSED      no hand-rolled ``q @ k.transpose()`` attention chains
                  in core/; route through repro.nn.fused
+REPRO-DENSEPOI   no catalogue-sized ``np.zeros((num_pois, ...))`` table
+                 allocations outside the sanctioned dense fallbacks;
+                 stream from the spatial grid index instead
 REPRO-SUP        suppression comments must carry a justification
 ==============   ======================================================
 
@@ -649,6 +652,95 @@ class AtomicCheckpointIoRule:
                         f"direct .{node.func.attr}() in a checkpoint-owning "
                         "layer is not crash-safe; use "
                         "repro.nn.serialization.atomic_write_bytes",
+                    )
+                )
+        return findings
+
+
+@register
+class DensePoiAllocationRule:
+    rule_id = "REPRO-DENSEPOI"
+    description = (
+        "No new catalogue-sized 2-D allocations: an np.zeros((num_pois, "
+        "...))-shaped table scales O(P·k) and forecloses million-POI "
+        "catalogues.  Stream from the spatial index "
+        "(repro.geo.grid / CheckInDataset.spatial_index) instead; the "
+        "sanctioned dense fallbacks live in repro.data.negatives "
+        "(precomputed sampler mode) and repro.baselines."
+    )
+    severity = "error"
+    family = "performance"
+    semantic = False
+    example = "np.zeros((num_pois + 1, pool_size))   # flagged: O(P*k) table"
+
+    #: numpy allocators that materialize the full table.
+    _ALLOCATORS = {"numpy.zeros", "numpy.empty", "numpy.ones", "numpy.full"}
+    #: Modules allowed to keep a dense per-POI table: the precomputed
+    #: sampler mode (small-catalogue fast path) and the baselines, whose
+    #: published formulations are dense.
+    SANCTIONED_FILES = frozenset({"negatives.py"})
+    SANCTIONED_DIRS = frozenset({"baselines"})
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        parts = module.path.parts
+        if any(part in self.SANCTIONED_DIRS for part in parts):
+            return False
+        if module.path.name in self.SANCTIONED_FILES and "data" in parts:
+            return False
+        return True
+
+    #: Widths up to this literal are treated as per-POI *records*
+    #: (coordinates, (lat, lon) pairs), not neighbour tables.
+    SMALL_WIDTH = 8
+
+    @staticmethod
+    def _mentions_poi_count(expr: ast.AST) -> bool:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and "pois" in sub.id:
+                return True
+            if isinstance(sub, ast.Attribute) and "pois" in sub.attr:
+                return True
+        return False
+
+    def _is_dense_table(self, shape: ast.Tuple) -> bool:
+        """(P, k) is a table when some axis is the POI count and some
+        *other* axis is non-trivial (symbolic, or a literal wider than
+        a per-POI record like (lat, lon))."""
+        poi_axes = [self._mentions_poi_count(e) for e in shape.elts]
+        if not any(poi_axes):
+            return False
+        for is_poi, elt in zip(poi_axes, shape.elts):
+            if is_poi:
+                continue
+            if not (
+                isinstance(elt, ast.Constant)
+                and isinstance(elt.value, int)
+                and elt.value <= self.SMALL_WIDTH
+            ):
+                return True
+        return False
+
+    def check(self, module: ModuleInfo) -> List[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = canonical_numpy(dotted_name(node.func), module)
+            if canonical not in self._ALLOCATORS or not node.args:
+                continue
+            shape = node.args[0]
+            if (
+                isinstance(shape, ast.Tuple)
+                and len(shape.elts) >= 2
+                and self._is_dense_table(shape)
+            ):
+                findings.append(
+                    _finding(
+                        module, node, self.rule_id,
+                        "catalogue-sized table allocation scales O(P*k); "
+                        "query the shared spatial index "
+                        "(CheckInDataset.spatial_index) or stream pools "
+                        "instead of materializing per-POI rows",
                     )
                 )
         return findings

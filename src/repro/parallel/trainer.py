@@ -145,6 +145,14 @@ class DataParallelTrainer:
         barrier_timeout: float = 300.0,
     ):
         validate_world(workers, grad_shards)
+        if config is not None and config.loss_shard_size:
+            # Logical grad shards already bound per-worker loss memory,
+            # and stacking the two sharding schemes would change which
+            # float32 sums the determinism contract pins.
+            raise ValueError(
+                "loss_shard_size is not supported with data-parallel "
+                "training; grad_shards already bounds per-shard loss memory"
+            )
         if checkpoint_every < 0:
             raise ValueError(f"checkpoint_every must be >= 0, got {checkpoint_every}")
         if checkpoint_every and checkpoint_dir is None:

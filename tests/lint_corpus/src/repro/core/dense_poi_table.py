@@ -1,0 +1,21 @@
+"""REPRO-DENSEPOI fixture: catalogue-sized table allocations outside
+the sanctioned modules (this pretend-module lives in core/)."""
+
+import numpy as np
+
+
+def build_pool_table(dataset, pool_size, neighborhood):
+    num_pois = dataset.num_pois
+    pools = np.zeros((num_pois + 1, pool_size), dtype=np.int64)  # flagged
+    scratch = np.empty((pool_size, dataset.num_pois), dtype=np.float32)  # flagged
+    weights = np.full((2, num_pois, neighborhood), 0.5)  # flagged
+    big = np.ones((num_pois + 1, 2000))  # flagged: wide literal axis
+    return pools, scratch, weights, big
+
+
+def fine_allocations(dataset, num_pois):
+    counts = np.zeros(num_pois + 1, dtype=np.int64)  # 1-D O(P): fine
+    coords = np.zeros((num_pois + 1, 2))  # per-POI record, constant width
+    catalogue = np.arange(1, dataset.num_pois + 1)  # not an allocator call
+    window = np.zeros((64, 128), dtype=np.float32)  # no POI-count reference
+    return counts, coords, catalogue, window
